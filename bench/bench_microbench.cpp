@@ -1,0 +1,87 @@
+// Substrate microbenchmarks (google-benchmark): generator throughput,
+// partitioner throughput, distributed-graph build, and one engine superstep.
+// These are wall-clock benchmarks of the reproduction itself, not paper
+// figures.
+#include <benchmark/benchmark.h>
+
+#include "lazygraph.hpp"
+
+namespace {
+
+using namespace lazygraph;
+
+const Graph& test_graph() {
+  static const Graph g = gen::rmat(14, 12, 0.55, 0.2, 0.2, 7, {1.0f, 8.0f});
+  return g;
+}
+
+void BM_GenerateRmat(benchmark::State& state) {
+  const auto scale = static_cast<vid_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen::rmat(scale, 8, 0.57, 0.19, 0.19, 11));
+  }
+  state.SetItemsProcessed(state.iterations() * (int64_t{1} << state.range(0)) *
+                          8);
+}
+BENCHMARK(BM_GenerateRmat)->Arg(12)->Arg(14);
+
+void BM_GenerateRoad(benchmark::State& state) {
+  const auto side = static_cast<vid_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen::road_lattice(side, side, 0.3, 11));
+  }
+}
+BENCHMARK(BM_GenerateRoad)->Arg(100)->Arg(200);
+
+void BM_Partition(benchmark::State& state) {
+  const Graph& g = test_graph();
+  const auto kind = static_cast<partition::CutKind>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        partition::assign_edges(g, 48, {kind, 1}));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_Partition)
+    ->Arg(static_cast<int>(partition::CutKind::kRandom))
+    ->Arg(static_cast<int>(partition::CutKind::kGrid))
+    ->Arg(static_cast<int>(partition::CutKind::kCoordinated))
+    ->Arg(static_cast<int>(partition::CutKind::kHybrid));
+
+void BM_BuildDistributedGraph(benchmark::State& state) {
+  const Graph& g = test_graph();
+  const auto assignment = partition::assign_edges(
+      g, 48, {partition::CutKind::kCoordinated, 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        partition::DistributedGraph::build(g, 48, assignment));
+  }
+}
+BENCHMARK(BM_BuildDistributedGraph);
+
+void BM_LazyPagerank(benchmark::State& state) {
+  const Graph& g = test_graph();
+  const auto machines = static_cast<machine_t>(state.range(0));
+  const auto assignment = partition::assign_edges(
+      g, machines, {partition::CutKind::kCoordinated, 1});
+  const auto dg = partition::DistributedGraph::build(g, machines, assignment);
+  for (auto _ : state) {
+    sim::Cluster cluster({machines, {}, 0});
+    benchmark::DoNotOptimize(engine::run_engine(
+        engine::EngineKind::kLazyBlock, dg, algos::PageRankDelta{}, cluster,
+        {.graph_ev_ratio = g.edge_vertex_ratio()}));
+  }
+}
+BENCHMARK(BM_LazyPagerank)->Arg(8)->Arg(48)->Unit(benchmark::kMillisecond);
+
+void BM_ReferencePagerank(benchmark::State& state) {
+  const Graph& g = test_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reference::pagerank(g, 1e-6, 100));
+  }
+}
+BENCHMARK(BM_ReferencePagerank)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,153 @@
+#include "experiment_matrix.hpp"
+
+#include <map>
+#include <mutex>
+#include <tuple>
+
+namespace lazygraph::bench {
+
+namespace {
+std::mutex cache_mu;
+}  // namespace
+
+const Graph& dataset_graph(const datasets::DatasetSpec& spec, double scale,
+                           bool symmetrize) {
+  static std::map<std::tuple<std::string, double, bool>, Graph> cache;
+  std::lock_guard<std::mutex> lock(cache_mu);
+  const auto key = std::make_tuple(spec.name, scale, symmetrize);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    Graph g = datasets::make(spec, scale);
+    if (symmetrize) g = g.symmetrized();
+    it = cache.emplace(key, std::move(g)).first;
+  }
+  return it->second;
+}
+
+const partition::DistributedGraph& dataset_dgraph(
+    const datasets::DatasetSpec& spec, double scale, bool symmetrize,
+    machine_t machines, partition::CutKind cut, bool edge_split,
+    std::uint64_t seed, double splitter_teps, double splitter_t_extra) {
+  using Key = std::tuple<std::string, double, bool, machine_t, int, bool,
+                         std::uint64_t, double, double>;
+  static std::map<Key, partition::DistributedGraph> cache;
+  const Graph& g = dataset_graph(spec, scale, symmetrize);
+  std::lock_guard<std::mutex> lock(cache_mu);
+  const Key key{spec.name,  scale,      symmetrize,    machines,
+                static_cast<int>(cut),  edge_split,    seed,
+                splitter_teps,          splitter_t_extra};
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    const auto assignment =
+        partition::assign_edges(g, machines, {cut, seed});
+    std::vector<std::uint64_t> split;
+    if (edge_split) {
+      partition::EdgeSplitterOptions sopts;
+      sopts.teps = splitter_teps;
+      sopts.t_extra = splitter_t_extra;
+      split = partition::select_split_edges(g, machines, sopts);
+    }
+    it = cache
+             .emplace(key, partition::DistributedGraph::build(
+                               g, machines, assignment, split))
+             .first;
+  }
+  return it->second;
+}
+
+vid_t pick_source(const Graph& g) {
+  const auto out = g.out_degrees();
+  vid_t best = 0;
+  for (vid_t v = 1; v < g.num_vertices(); ++v) {
+    if (out[v] > out[best]) best = v;
+  }
+  return best;
+}
+
+CellResult run_cell(Algo algo, const datasets::DatasetSpec& spec,
+                    engine::EngineKind kind, const ExperimentConfig& cfg) {
+  const bool symmetrize = (algo == Algo::kKCore || algo == Algo::kCC);
+  const bool lazy_engine = (kind == engine::EngineKind::kLazyBlock ||
+                            kind == engine::EngineKind::kLazyVertex);
+  // The eager baselines always run the plain vertex-cut graph; parallel-edges
+  // are a LazyGraph mechanism.
+  const bool split = cfg.edge_split && lazy_engine;
+
+  const Graph& g = dataset_graph(spec, cfg.dataset_scale, symmetrize);
+
+  // Workload-size calibration: each analogue edge stands for `k` edges of
+  // the paper's full-size input, so compute slows down by k and wire volume
+  // grows by k. Shapes then match the paper's compute:communication balance.
+  sim::NetworkModelConfig net;
+  if (cfg.calibrate_compute && spec.paper_edges > 0.0) {
+    const double k =
+        spec.paper_edges * 1e6 / static_cast<double>(g.num_edges());
+    net.teps /= k;
+    net.volume_scale = k;
+  }
+
+  const partition::DistributedGraph& dg = dataset_dgraph(
+      spec, cfg.dataset_scale, symmetrize, cfg.machines, cfg.cut, split,
+      cfg.seed, split ? net.teps : 0.0, cfg.splitter_t_extra);
+
+  sim::Cluster cluster(sim::ClusterConfig{cfg.machines, net, cfg.threads});
+  engine::EngineOptions eopts;
+  eopts.graph_ev_ratio = g.edge_vertex_ratio();
+  eopts.lazy.interval.policy = cfg.interval;
+  eopts.lazy.comm_policy = cfg.comm_policy;
+
+  bool converged = false;
+  std::uint64_t supersteps = 0;
+  switch (algo) {
+    case Algo::kPageRank: {
+      const auto r = engine::run_engine(
+          kind, dg, algos::PageRankDelta{.tol = cfg.pr_tol}, cluster, eopts);
+      converged = r.converged;
+      supersteps = r.supersteps;
+      break;
+    }
+    case Algo::kSSSP: {
+      const auto r = engine::run_engine(
+          kind, dg, algos::SSSP{.source = pick_source(g)}, cluster, eopts);
+      converged = r.converged;
+      supersteps = r.supersteps;
+      break;
+    }
+    case Algo::kCC: {
+      const auto r = engine::run_engine(kind, dg,
+                                        algos::ConnectedComponents{}, cluster,
+                                        eopts);
+      converged = r.converged;
+      supersteps = r.supersteps;
+      break;
+    }
+    case Algo::kKCore: {
+      std::uint32_t k = cfg.kcore_k;
+      if (k == 0) {
+        const double avg_degree = g.edge_vertex_ratio();  // symmetrized
+        k = std::max<std::uint32_t>(
+            3, static_cast<std::uint32_t>(avg_degree / 2.0));
+      }
+      const auto r = engine::run_engine(kind, dg, algos::KCore{.k = k},
+                                        cluster, eopts);
+      converged = r.converged;
+      supersteps = r.supersteps;
+      break;
+    }
+  }
+
+  const sim::SimMetrics& m = cluster.metrics();
+  CellResult out;
+  out.sim_seconds = m.sim_seconds();
+  out.global_syncs = m.global_syncs;
+  out.network_bytes = m.network_bytes;
+  out.network_messages = m.network_messages;
+  out.supersteps = supersteps;
+  out.a2a_exchanges = m.a2a_exchanges;
+  out.m2m_exchanges = m.m2m_exchanges;
+  out.converged = converged;
+  out.replication_factor = dg.replication_factor();
+  return out;
+}
+
+}  // namespace lazygraph::bench

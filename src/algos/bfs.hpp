@@ -1,0 +1,51 @@
+// Breadth-first search hop distance (an extra algorithm beyond the paper's
+// four): SSSP with unit edge weights over a min semilattice.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+#include "engine/program.hpp"
+
+namespace lazygraph::algos {
+
+struct BFS {
+  struct VData {
+    std::uint32_t depth = std::numeric_limits<std::uint32_t>::max();
+  };
+  using Msg = std::uint32_t;
+  using Scatter = std::uint32_t;
+  static constexpr bool kIdempotent = true;
+  static constexpr bool kHasInverse = false;
+
+  vid_t source = 0;
+
+  VData init_data(const engine::VertexInfo&) const { return {}; }
+
+  std::optional<Msg> init_vertex_message(
+      const engine::VertexInfo& info) const {
+    if (info.gid == source) return 0u;
+    return std::nullopt;
+  }
+  std::optional<Msg> init_edge_message(const engine::VertexInfo&) const {
+    return std::nullopt;
+  }
+
+  Msg sum(Msg a, Msg b) const { return a < b ? a : b; }
+
+  std::optional<Scatter> apply(VData& v, const engine::VertexInfo&,
+                               Msg accum) const {
+    if (accum < v.depth) {
+      v.depth = accum;
+      return accum;
+    }
+    return std::nullopt;
+  }
+
+  Msg scatter(const Scatter& depth, const engine::VertexInfo&, float) const {
+    return depth + 1;
+  }
+};
+
+}  // namespace lazygraph::algos

@@ -1,0 +1,49 @@
+// Connected Components by min-label propagation:
+//   label_i(t+1) = min(label_i(t), min_{j->i} label_j(t))
+// Run on the symmetrized graph (components are an undirected notion).
+#pragma once
+
+#include <optional>
+
+#include "engine/program.hpp"
+
+namespace lazygraph::algos {
+
+struct ConnectedComponents {
+  struct VData {
+    vid_t label = kInvalidVid;
+  };
+  using Msg = vid_t;
+  using Scatter = vid_t;
+  static constexpr bool kIdempotent = true;
+  static constexpr bool kHasInverse = false;
+
+  VData init_data(const engine::VertexInfo& info) const {
+    return {info.gid};
+  }
+
+  std::optional<Msg> init_vertex_message(const engine::VertexInfo&) const {
+    return std::nullopt;
+  }
+  /// Every edge starts by announcing its source's own label.
+  std::optional<Msg> init_edge_message(const engine::VertexInfo& src) const {
+    return src.gid;
+  }
+
+  Msg sum(Msg a, Msg b) const { return a < b ? a : b; }
+
+  std::optional<Scatter> apply(VData& v, const engine::VertexInfo&,
+                               Msg accum) const {
+    if (accum < v.label) {
+      v.label = accum;
+      return accum;
+    }
+    return std::nullopt;
+  }
+
+  Msg scatter(const Scatter& label, const engine::VertexInfo&, float) const {
+    return label;
+  }
+};
+
+}  // namespace lazygraph::algos

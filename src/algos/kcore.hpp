@@ -1,0 +1,61 @@
+// k-core decomposition (paper Fig. 1a):
+//   core_i(t+1) = core_i(t) - sum_{deleted j->i} 1
+//   a vertex whose remaining core drops below K is deleted and notifies its
+//   neighbours once.
+// Run on the symmetrized graph; the initial core value is the undirected
+// degree (= the symmetrized graph's out-degree). The initial activation
+// carries the additive identity so the first Apply deletes vertices whose
+// initial degree is already below K.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "engine/program.hpp"
+
+namespace lazygraph::algos {
+
+struct KCore {
+  struct VData {
+    std::int64_t core = 0;
+    bool deleted = false;
+  };
+  using Msg = std::int64_t;
+  using Scatter = std::int64_t;
+  static constexpr bool kIdempotent = false;
+  static constexpr bool kHasInverse = true;
+
+  std::uint32_t k = 3;
+
+  VData init_data(const engine::VertexInfo& info) const {
+    return {static_cast<std::int64_t>(info.out_degree), false};
+  }
+
+  std::optional<Msg> init_vertex_message(const engine::VertexInfo&) const {
+    return 0;  // activation only; first Apply tests degree < k
+  }
+  std::optional<Msg> init_edge_message(const engine::VertexInfo&) const {
+    return std::nullopt;
+  }
+
+  Msg sum(Msg a, Msg b) const { return a + b; }
+  Msg inverse(Msg total, Msg own) const { return total - own; }
+
+  std::optional<Scatter> apply(VData& v, const engine::VertexInfo&,
+                               Msg accum) const {
+    if (v.deleted) return std::nullopt;  // late notifications are ignored
+    v.core -= accum;
+    if (v.core < static_cast<std::int64_t>(k)) {
+      v.core = 0;
+      v.deleted = true;
+      return 1;  // notify neighbours of the deletion, exactly once
+    }
+    return std::nullopt;
+  }
+
+  Msg scatter(const Scatter& s, const engine::VertexInfo&, float) const {
+    return s;
+  }
+};
+
+}  // namespace lazygraph::algos

@@ -1,0 +1,52 @@
+// Single-Source Shortest Paths as a push-style delta program:
+//   dist_i(t+1) = min(dist_i(t), min_{j->i} (dist_j + w(j,i)))
+// Sum is min (idempotent, so mirrors-to-master needs no Inverse).
+#pragma once
+
+#include <limits>
+#include <optional>
+
+#include "engine/program.hpp"
+
+namespace lazygraph::algos {
+
+struct SSSP {
+  struct VData {
+    double dist = std::numeric_limits<double>::infinity();
+  };
+  using Msg = double;
+  using Scatter = double;
+  static constexpr bool kIdempotent = true;
+  static constexpr bool kHasInverse = false;
+
+  vid_t source = 0;
+
+  VData init_data(const engine::VertexInfo&) const { return {}; }
+
+  std::optional<Msg> init_vertex_message(
+      const engine::VertexInfo& info) const {
+    if (info.gid == source) return 0.0;
+    return std::nullopt;
+  }
+  std::optional<Msg> init_edge_message(const engine::VertexInfo&) const {
+    return std::nullopt;
+  }
+
+  Msg sum(Msg a, Msg b) const { return a < b ? a : b; }
+
+  std::optional<Scatter> apply(VData& v, const engine::VertexInfo&,
+                               Msg accum) const {
+    if (accum < v.dist) {
+      v.dist = accum;
+      return accum;
+    }
+    return std::nullopt;
+  }
+
+  Msg scatter(const Scatter& dist, const engine::VertexInfo&,
+              float edge_weight) const {
+    return dist + static_cast<double>(edge_weight);
+  }
+};
+
+}  // namespace lazygraph::algos

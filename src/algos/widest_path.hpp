@@ -1,0 +1,58 @@
+// Single-source widest path (maximum bottleneck capacity): the capacity of a
+// path is its minimum edge weight; each vertex keeps the best such capacity
+// from the source. A max-semilattice delta program:
+//   cap_i(t+1) = max(cap_i(t), max_{j->i} min(cap_j, w(j,i)))
+// Idempotent Sum (max), so mirrors-to-master needs no Inverse — exercises the
+// same engine path as SSSP with the dual ordering.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+
+#include "engine/program.hpp"
+
+namespace lazygraph::algos {
+
+struct WidestPath {
+  struct VData {
+    double capacity = 0.0;  // 0 = unreachable
+  };
+  using Msg = double;
+  using Scatter = double;
+  static constexpr bool kIdempotent = true;
+  static constexpr bool kHasInverse = false;
+
+  vid_t source = 0;
+
+  VData init_data(const engine::VertexInfo&) const { return {}; }
+
+  std::optional<Msg> init_vertex_message(
+      const engine::VertexInfo& info) const {
+    if (info.gid == source) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return std::nullopt;
+  }
+  std::optional<Msg> init_edge_message(const engine::VertexInfo&) const {
+    return std::nullopt;
+  }
+
+  Msg sum(Msg a, Msg b) const { return a > b ? a : b; }
+
+  std::optional<Scatter> apply(VData& v, const engine::VertexInfo&,
+                               Msg accum) const {
+    if (accum > v.capacity) {
+      v.capacity = accum;
+      return accum;
+    }
+    return std::nullopt;
+  }
+
+  Msg scatter(const Scatter& capacity, const engine::VertexInfo&,
+              float edge_weight) const {
+    return std::min(capacity, static_cast<double>(edge_weight));
+  }
+};
+
+}  // namespace lazygraph::algos

@@ -1,0 +1,35 @@
+#include "engine/comm_mode.hpp"
+
+namespace lazygraph::engine {
+
+const char* to_string(CommModePolicy p) {
+  switch (p) {
+    case CommModePolicy::kAdaptive: return "adaptive";
+    case CommModePolicy::kForceAllToAll: return "all-to-all";
+    case CommModePolicy::kForceMirrorsToMaster: return "mirrors-to-master";
+  }
+  return "?";
+}
+
+sim::CommMode select_comm_mode(CommModePolicy policy,
+                               const sim::NetworkModel& net,
+                               const ExchangeEstimate& est) {
+  switch (policy) {
+    case CommModePolicy::kForceAllToAll:
+      return sim::CommMode::kAllToAll;
+    case CommModePolicy::kForceMirrorsToMaster:
+      return sim::CommMode::kMirrorsToMaster;
+    case CommModePolicy::kAdaptive:
+      break;
+  }
+  const double a2a_mb =
+      static_cast<double>(est.a2a_bytes) / (1024.0 * 1024.0);
+  const double m2m_mb =
+      static_cast<double>(est.m2m_bytes) / (1024.0 * 1024.0);
+  const double t_a2a = net.all_to_all_seconds(a2a_mb);
+  const double t_m2m = net.mirrors_to_master_seconds(m2m_mb);
+  return t_a2a <= t_m2m ? sim::CommMode::kAllToAll
+                        : sim::CommMode::kMirrorsToMaster;
+}
+
+}  // namespace lazygraph::engine

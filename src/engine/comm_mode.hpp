@@ -1,0 +1,33 @@
+// Dynamic communication-mode switching at data coherency points
+// (paper Section 4.2.2): estimate the volume each pattern would move, run
+// both volumes through the fitted time curves, pick the faster pattern.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/netmodel.hpp"
+
+namespace lazygraph::engine {
+
+enum class CommModePolicy {
+  kAdaptive,            // pick per exchange by predicted time
+  kForceAllToAll,       // ablation
+  kForceMirrorsToMaster // ablation
+};
+
+const char* to_string(CommModePolicy p);
+
+/// Predicted exchange volumes, from the paper's equations:
+///   comm_a2a = sum_v  R^hasDelta_v * (RNum_v - 1) * sizeof(DeltaMsg)
+///   comm_m2m = sum_v (R^hasDelta_v + RNum_v - 2) * sizeof(DeltaMsg)
+struct ExchangeEstimate {
+  std::uint64_t a2a_bytes = 0;
+  std::uint64_t m2m_bytes = 0;
+};
+
+/// Selects the communication mode for one coherency exchange.
+sim::CommMode select_comm_mode(CommModePolicy policy,
+                               const sim::NetworkModel& net,
+                               const ExchangeEstimate& est);
+
+}  // namespace lazygraph::engine

@@ -1,0 +1,261 @@
+// LazyBlockAsync — the paper's main contribution (Algorithm 1).
+//
+// Replicas of a vertex are independent vertices. Each outer iteration is:
+//
+//   Stage 1 (local computation, only when lazy mode is on): every machine
+//     repeatedly applies pending messages and scatters along local edges.
+//     Messages arriving over one-edge-mode edges accumulate into the
+//     target's deltaMsg; parallel-edge deliveries do not (they are already
+//     replicated everywhere). The stage runs until local quiescence or the
+//     adaptive work budget ("3T") is exhausted. No communication happens.
+//
+//   Stage 2 (data coherency): replicas of each vertex exchange their
+//     deltaMsgs — all-to-all or mirrors-to-master, picked per exchange by
+//     the fitted cost curves — and every replica folds the *others'* deltas
+//     into its message slot (using Inverse for non-idempotent Sums in the
+//     m2m pattern). One global barrier. Then the coherency-point
+//     apply+scatter sweep runs, after which all replicas of a vertex that
+//     consumed the same message multiset hold the same global view.
+//
+// The adaptive interval model (Section 4.2.1) decides when lazy mode turns
+// on; per Algorithm 1 line 16 it is sticky once enabled.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/comm_mode.hpp"
+#include "engine/interval_model.hpp"
+#include "engine/local_sweep.hpp"
+#include "engine/state.hpp"
+#include "sim/cluster.hpp"
+
+namespace lazygraph::engine {
+
+struct LazyOptions {
+  std::uint64_t max_supersteps = 1'000'000;
+  IntervalModelConfig interval = {};
+  CommModePolicy comm_policy = CommModePolicy::kAdaptive;
+};
+
+template <VertexProgram P>
+class LazyBlockAsyncEngine {
+ public:
+  LazyBlockAsyncEngine(const partition::DistributedGraph& dg, P prog,
+                       sim::Cluster& cluster, LazyOptions opts = {},
+                       double graph_ev_ratio = 0.0)
+      : dg_(dg),
+        prog_(std::move(prog)),
+        cluster_(cluster),
+        opts_(opts),
+        interval_(opts.interval, graph_ev_ratio) {
+    require(cluster.num_machines() == dg.num_machines(),
+            "LazyBlockAsyncEngine: cluster/graph machine count mismatch");
+  }
+
+  RunResult<P> run() {
+    const machine_t p = dg_.num_machines();
+    states_ = make_states(dg_, prog_);
+    init_lazy_messages(prog_, dg_, states_);
+
+    RunResult<P> result;
+    std::vector<std::uint64_t> work(p), applies(p), subiters(p);
+    bool do_local = false;  // the paper's first iteration skips Stage 1
+
+    for (std::uint64_t step = 0; step < opts_.max_supersteps; ++step) {
+      ++cluster_.metrics().supersteps;
+      ++result.supersteps;
+      const double iter_start_seconds = cluster_.metrics().sim_seconds();
+
+      // ---- Stage 1: local computation. ----
+      if (do_local) {
+        std::fill(work.begin(), work.end(), 0);
+        std::fill(applies.begin(), applies.end(), 0);
+        std::fill(subiters.begin(), subiters.end(), 0);
+        const double first_iter_seconds = first_iter_seconds_;
+        cluster_.parallel_machines([&](machine_t m) {
+          const partition::Part& part = dg_.part(m);
+          PartState<P>& s = states_[m];
+          std::uint64_t budget = 0;
+          bool first = true;
+          for (;;) {
+            const SweepCounters c = local_sweep(prog_, part, s);
+            if (c.work == 0) break;
+            work[m] += c.work;
+            applies[m] += c.applies;
+            ++subiters[m];
+            if (first) {
+              budget = interval_.local_stage_budget(
+                  c.work, first_iter_seconds, cluster_.net().config().teps);
+              first = false;
+            }
+            if (work[m] >= budget) break;  // the "3T" bound
+          }
+        });
+        cluster_.charge_compute(work);
+        for (machine_t m = 0; m < p; ++m) {
+          cluster_.metrics().applies += applies[m];
+          cluster_.metrics().local_subiterations += subiters[m];
+        }
+      }
+
+      // ---- Stage 2: data coherency. ----
+      exchange_deltas();
+      cluster_.charge_barrier();  // the single global sync of the iteration
+
+      std::uint64_t active = 0;
+      for (machine_t m = 0; m < p; ++m) active += states_[m].count_msgs();
+      if (active == 0) {
+        result.converged = true;
+        break;
+      }
+      // Algorithm 1 line 16: lazy mode is sticky once turned on.
+      const bool decision = interval_.turn_on_lazy(active);
+      do_local = do_local || decision;
+
+      // ---- Coherency point: apply + scatter the merged view. ----
+      // Batch (snapshot) semantics per Algorithm 1: every vertex applies its
+      // complete merged accumulator exactly once.
+      std::fill(work.begin(), work.end(), 0);
+      std::fill(applies.begin(), applies.end(), 0);
+      cluster_.parallel_machines([&](machine_t m) {
+        const SweepCounters c = local_sweep(prog_, dg_.part(m), states_[m],
+                                            SweepMode::kSnapshot);
+        work[m] = c.work;
+        applies[m] = c.applies;
+      });
+      cluster_.charge_compute(work);
+      for (machine_t m = 0; m < p; ++m) cluster_.metrics().applies += applies[m];
+
+      // "We collect the execution time T of the first iteration ... online":
+      // the first full coherency round calibrates the 3T local-stage budget.
+      if (step == 0) {
+        first_iter_seconds_ =
+            cluster_.metrics().sim_seconds() - iter_start_seconds;
+      }
+    }
+
+    result.data = collect_master_data(dg_, states_);
+    return result;
+  }
+
+  const std::vector<PartState<P>>& states() const { return states_; }
+
+ private:
+  // Exchange_deltaMsgs: estimate both patterns' volumes with the paper's
+  // equations, pick a mode, deliver others' deltas into every replica's
+  // message slot, clear deltas. Parallelized by master ownership: vertex v is
+  // handled exclusively by its master's machine, so all reads/writes of v's
+  // replica slots are race-free.
+  void exchange_deltas() {
+    const machine_t p = dg_.num_machines();
+    constexpr std::uint64_t kDeltaBytes = wire_bytes<typename P::Msg>();
+
+    // Pass 1: volume estimates (read-only).
+    std::vector<std::uint64_t> est_a2a(p, 0), est_m2m(p, 0);
+    cluster_.parallel_machines([&](machine_t m) {
+      const partition::Part& part = dg_.part(m);
+      for (lvid_t v = 0; v < part.num_local(); ++v) {
+        if (part.master[v] != m) continue;
+        const std::uint32_t rnum = part.num_replicas(v);
+        if (rnum <= 1) continue;
+        std::uint32_t nd = states_[m].has_delta[v] ? 1 : 0;
+        for (const auto& [r, rl] : part.remote_replicas[v]) {
+          nd += states_[r].has_delta[rl] ? 1 : 0;
+        }
+        if (nd == 0) continue;
+        est_a2a[m] += static_cast<std::uint64_t>(nd) * (rnum - 1) * kDeltaBytes;
+        est_m2m[m] += static_cast<std::uint64_t>(nd + rnum - 2) * kDeltaBytes;
+      }
+    });
+    ExchangeEstimate est;
+    for (machine_t m = 0; m < p; ++m) {
+      est.a2a_bytes += est_a2a[m];
+      est.m2m_bytes += est_m2m[m];
+    }
+    const sim::CommMode mode =
+        select_comm_mode(opts_.comm_policy, cluster_.net(), est);
+
+    // Pass 2: deliver and clear.
+    std::vector<std::uint64_t> msgs(p, 0), bytes(p, 0);
+    cluster_.parallel_machines([&](machine_t m) {
+      const partition::Part& part = dg_.part(m);
+      for (lvid_t v = 0; v < part.num_local(); ++v) {
+        if (part.master[v] != m) continue;
+        const std::uint32_t rnum = part.num_replicas(v);
+        if (rnum <= 1) continue;
+
+        // Collect contributions in deterministic (machine) order. The own
+        // (master-machine) replica participates like any other.
+        bool have = false;
+        typename P::Msg total{};
+        std::uint32_t nd = 0;
+        bool master_has = false;
+        auto fold = [&](machine_t rm, lvid_t rv) {
+          PartState<P>& rs = states_[rm];
+          if (!rs.has_delta[rv]) return;
+          total = have ? prog_.sum(total, rs.delta[rv]) : rs.delta[rv];
+          have = true;
+          ++nd;
+          if (rm == part.master[v]) master_has = true;
+        };
+        // remote_replicas is sorted by machine; merge own machine in order.
+        bool self_done = false;
+        for (const auto& [r, rl] : part.remote_replicas[v]) {
+          if (!self_done && m < r) {
+            fold(m, v);
+            self_done = true;
+          }
+          fold(r, rl);
+        }
+        if (!self_done) fold(m, v);
+        if (nd == 0) continue;
+
+        // Deliver "others' deltas" to every replica and clear its delta.
+        auto deliver = [&](machine_t rm, lvid_t rv) {
+          PartState<P>& rs = states_[rm];
+          if (rs.has_delta[rv]) {
+            if (nd > 1) {
+              deposit_msg(prog_, rs, rv,
+                          without_own(prog_, total, rs.delta[rv]));
+            }
+            rs.has_delta[rv] = 0;
+          } else {
+            deposit_msg(prog_, rs, rv, total);
+          }
+        };
+        deliver(m, v);
+        for (const auto& [r, rl] : part.remote_replicas[v]) deliver(r, rl);
+
+        // Traffic accounting for the chosen pattern.
+        if (mode == sim::CommMode::kAllToAll) {
+          const std::uint64_t cnt =
+              static_cast<std::uint64_t>(nd) * (rnum - 1);
+          msgs[m] += cnt;
+          bytes[m] += cnt * kDeltaBytes;
+        } else {
+          const std::uint64_t cnt =
+              (nd - (master_has ? 1 : 0)) + (rnum - 1);
+          msgs[m] += cnt;
+          bytes[m] += cnt * kDeltaBytes;
+        }
+      }
+    });
+    std::uint64_t total_msgs = 0, total_bytes = 0;
+    for (machine_t m = 0; m < p; ++m) {
+      total_msgs += msgs[m];
+      total_bytes += bytes[m];
+    }
+    cluster_.charge_exchange(mode, total_bytes, total_msgs);
+  }
+
+  const partition::DistributedGraph& dg_;
+  P prog_;
+  sim::Cluster& cluster_;
+  LazyOptions opts_;
+  IntervalModel interval_;
+  std::vector<PartState<P>> states_;
+  double first_iter_seconds_ = 0.0;
+};
+
+}  // namespace lazygraph::engine

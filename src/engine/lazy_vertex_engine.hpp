@@ -1,0 +1,222 @@
+// LazyVertexAsync — Algorithm 2 of the paper (listed there as the engine to
+// be implemented in future work on top of Async; we provide it as an
+// extension). Queue-driven and barrier-free: each machine processes its
+// active-vertex queue; a vertex runs plain local computation until it *needs*
+// data coherency, at which point only that vertex's replicas exchange deltas
+// (fine-grained, no global synchronization) and the merged global view
+// becomes visible to neighbours as soon as possible.
+//
+// needDataCoherency(v) here: the replica has applied `staleness` local
+// updates since its last coherency event; additionally, when every queue
+// drains, all replicas with outstanding deltas are flushed (which either
+// terminates the run or reactivates vertices).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "engine/local_sweep.hpp"
+#include "engine/state.hpp"
+#include "sim/cluster.hpp"
+
+namespace lazygraph::engine {
+
+struct LazyVertexOptions {
+  std::uint64_t max_cycles = 10'000'000;
+  /// Local applies a spanning replica may perform between coherency events.
+  std::uint32_t staleness = 4;
+};
+
+template <VertexProgram P>
+class LazyVertexAsyncEngine {
+ public:
+  LazyVertexAsyncEngine(const partition::DistributedGraph& dg, P prog,
+                        sim::Cluster& cluster, LazyVertexOptions opts = {})
+      : dg_(dg), prog_(std::move(prog)), cluster_(cluster), opts_(opts) {
+    require(cluster.num_machines() == dg.num_machines(),
+            "LazyVertexAsyncEngine: cluster/graph machine count mismatch");
+  }
+
+  RunResult<P> run() {
+    const machine_t p = dg_.num_machines();
+    states_ = make_states(dg_, prog_);
+    init_lazy_messages(prog_, dg_, states_);
+
+    queues_.assign(p, {});
+    in_queue_.resize(p);
+    applies_since_.resize(p);
+    for (machine_t m = 0; m < p; ++m) {
+      const lvid_t n = dg_.part(m).num_local();
+      in_queue_[m].assign(n, 0);
+      applies_since_[m].assign(n, 0);
+      for (lvid_t v = 0; v < n; ++v) {
+        if (states_[m].has_msg[v]) enqueue(m, v);
+      }
+    }
+
+    RunResult<P> result;
+    std::vector<std::uint64_t> work(p);
+
+    for (std::uint64_t cycle = 0; cycle < opts_.max_cycles; ++cycle) {
+      ++cluster_.metrics().supersteps;
+      ++result.supersteps;
+      std::fill(work.begin(), work.end(), 0);
+      msgs_ = bytes_ = 0;
+      bool any = false;
+
+      for (machine_t m = 0; m < p; ++m) {
+        // Snapshot the queue length: items pushed during this cycle are
+        // handled next cycle (keeps cycles finite and deterministic).
+        std::size_t budget = queues_[m].size();
+        while (budget-- > 0) {
+          const lvid_t v = queues_[m].front();
+          queues_[m].pop_front();
+          in_queue_[m][v] = 0;
+          any |= step_vertex(m, v, work);
+        }
+      }
+
+      if (!any) {
+        // All queues drained: flush outstanding deltas. If that delivers
+        // nothing new, the algorithm has terminated.
+        if (!flush_all_deltas(work)) {
+          result.converged = true;
+          break;
+        }
+      }
+      cluster_.charge_compute(work);
+      cluster_.charge_fine_grained(bytes_, msgs_);
+    }
+
+    result.data = collect_master_data(dg_, states_);
+    return result;
+  }
+
+  const std::vector<PartState<P>>& states() const { return states_; }
+
+ private:
+  void enqueue(machine_t m, lvid_t v) {
+    if (!in_queue_[m][v]) {
+      in_queue_[m][v] = 1;
+      queues_[m].push_back(v);
+    }
+  }
+
+  /// Processes one queued replica; returns whether it did anything.
+  bool step_vertex(machine_t m, lvid_t v, std::vector<std::uint64_t>& work) {
+    const partition::Part& part = dg_.part(m);
+    PartState<P>& s = states_[m];
+    const bool spans = part.num_replicas(v) > 1;
+
+    bool did = false;
+    if (spans && applies_since_[m][v] >= opts_.staleness) {
+      did |= coherency_event(m, v, work);
+    }
+    if (!s.has_msg[v]) return did;
+
+    // Stage 1 of Algorithm 2: local apply + scatter.
+    const typename P::Msg acc = s.msg[v];
+    s.has_msg[v] = 0;
+    const VertexInfo info = vertex_info<P>(part, v);
+    ++cluster_.metrics().applies;
+    ++work[m];
+    if (spans) ++applies_since_[m][v];
+    const auto payload = prog_.apply(s.vdata[v], info, acc);
+    if (payload) {
+      for (std::uint64_t e = part.offsets[v]; e < part.offsets[v + 1]; ++e) {
+        const lvid_t u = part.targets[e];
+        const typename P::Msg out =
+            prog_.scatter(*payload, info, part.weights[e]);
+        deposit_msg(prog_, s, u, out);
+        if (!part.parallel_mode[e] && part.num_replicas(u) > 1) {
+          deposit_delta(prog_, s, u, out);
+        }
+        enqueue(m, u);
+        ++work[m];
+      }
+    }
+    return true;
+  }
+
+  /// Per-vertex data coherency: all replicas of the vertex exchange deltas
+  /// (counted as fine-grained all-to-all traffic), fold in the others', and
+  /// are reactivated. Returns whether any delta was outstanding.
+  bool coherency_event(machine_t m, lvid_t v,
+                       std::vector<std::uint64_t>& work) {
+    const partition::Part& part = dg_.part(m);
+
+    bool have = false;
+    typename P::Msg total{};
+    std::uint32_t nd = 0;
+    auto fold = [&](machine_t rm, lvid_t rv) {
+      PartState<P>& rs = states_[rm];
+      if (!rs.has_delta[rv]) return;
+      total = have ? prog_.sum(total, rs.delta[rv]) : rs.delta[rv];
+      have = true;
+      ++nd;
+    };
+    bool self_done = false;
+    for (const auto& [r, rl] : part.remote_replicas[v]) {
+      if (!self_done && m < r) {
+        fold(m, v);
+        self_done = true;
+      }
+      fold(r, rl);
+    }
+    if (!self_done) fold(m, v);
+
+    applies_since_[m][v] = 0;
+    if (nd == 0) return false;
+
+    auto deliver = [&](machine_t rm, lvid_t rv) {
+      PartState<P>& rs = states_[rm];
+      if (rs.has_delta[rv]) {
+        if (nd > 1) {
+          deposit_msg(prog_, rs, rv, without_own(prog_, total, rs.delta[rv]));
+        }
+        rs.has_delta[rv] = 0;
+      } else {
+        deposit_msg(prog_, rs, rv, total);
+      }
+      applies_since_[rm][rv] = 0;
+      if (rs.has_msg[rv]) enqueue(rm, rv);
+      ++work[rm];
+    };
+    deliver(m, v);
+    for (const auto& [r, rl] : part.remote_replicas[v]) deliver(r, rl);
+
+    const std::uint32_t rnum = part.num_replicas(v);
+    const std::uint64_t cnt = static_cast<std::uint64_t>(nd) * (rnum - 1);
+    msgs_ += cnt;
+    bytes_ += cnt * wire_bytes<typename P::Msg>();
+    ++cluster_.metrics().vertex_coherency_events;
+    return true;
+  }
+
+  /// Flushes every vertex with an outstanding delta (master-driven so each
+  /// vertex is visited once). Returns whether anything was delivered.
+  bool flush_all_deltas(std::vector<std::uint64_t>& work) {
+    bool delivered = false;
+    for (machine_t m = 0; m < dg_.num_machines(); ++m) {
+      const partition::Part& part = dg_.part(m);
+      for (lvid_t v = 0; v < part.num_local(); ++v) {
+        if (part.master[v] != m || part.num_replicas(v) <= 1) continue;
+        delivered |= coherency_event(m, v, work);
+      }
+    }
+    return delivered;
+  }
+
+  const partition::DistributedGraph& dg_;
+  P prog_;
+  sim::Cluster& cluster_;
+  LazyVertexOptions opts_;
+  std::vector<PartState<P>> states_;
+  std::vector<std::deque<lvid_t>> queues_;
+  std::vector<std::vector<std::uint8_t>> in_queue_;
+  std::vector<std::vector<std::uint32_t>> applies_since_;
+  std::uint64_t msgs_ = 0, bytes_ = 0;
+};
+
+}  // namespace lazygraph::engine

@@ -1,0 +1,144 @@
+// The machine-local apply+scatter sweep shared by the lazy engines:
+// one pass over replicas with pending messages, applying each and pushing
+// scatter messages along local out-edges (the paper's ScatterGatherMsg
+// operator). One-edge-mode deposits also accumulate into the target's delta
+// (when the target spans machines); parallel-edge deposits do not — they are
+// already replicated on every machine of the target.
+#pragma once
+
+#include <cstdint>
+
+#include "engine/state.hpp"
+
+namespace lazygraph::engine {
+
+struct SweepCounters {
+  std::uint64_t work = 0;     // applies + edge traversals
+  std::uint64_t applies = 0;  // vertex apply invocations
+};
+
+/// Initialization placement for the lazy engines: vertex init messages go to
+/// every replica (replicated like a parallel-edge delivery, no delta), edge
+/// init messages are deposited at each local edge copy.
+template <VertexProgram P>
+void init_lazy_messages(const P& prog, const partition::DistributedGraph& dg,
+                        std::vector<PartState<P>>& states) {
+  for (machine_t m = 0; m < dg.num_machines(); ++m) {
+    const partition::Part& part = dg.part(m);
+    PartState<P>& s = states[m];
+    for (lvid_t v = 0; v < part.num_local(); ++v) {
+      const VertexInfo info = vertex_info<P>(part, v);
+      if (const auto im = prog.init_vertex_message(info)) {
+        deposit_msg(prog, s, v, *im);
+      }
+      if (part.offsets[v] == part.offsets[v + 1]) continue;
+      if (const auto em = prog.init_edge_message(info)) {
+        for (std::uint64_t e = part.offsets[v]; e < part.offsets[v + 1];
+             ++e) {
+          const lvid_t u = part.targets[e];
+          deposit_msg(prog, s, u, *em);
+          if (!part.parallel_mode[e] && part.num_replicas(u) > 1) {
+            deposit_delta(prog, s, u, *em);
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Initialization placement for the eager engines (Sync/Async): vertex init
+/// messages go to the master replica only (the gather phase collects mirror
+/// partials there anyway), edge init messages to each local edge's target.
+template <VertexProgram P>
+void init_eager_messages(const P& prog, const partition::DistributedGraph& dg,
+                         std::vector<PartState<P>>& states) {
+  for (machine_t m = 0; m < dg.num_machines(); ++m) {
+    const partition::Part& part = dg.part(m);
+    PartState<P>& s = states[m];
+    for (lvid_t v = 0; v < part.num_local(); ++v) {
+      const VertexInfo info = vertex_info<P>(part, v);
+      if (part.master[v] == m) {
+        if (const auto im = prog.init_vertex_message(info)) {
+          deposit_msg(prog, s, v, *im);
+        }
+      }
+      if (part.offsets[v] == part.offsets[v + 1]) continue;
+      if (const auto em = prog.init_edge_message(info)) {
+        for (std::uint64_t e = part.offsets[v]; e < part.offsets[v + 1];
+             ++e) {
+          deposit_msg(prog, s, part.targets[e], *em);
+        }
+      }
+    }
+  }
+}
+
+enum class SweepMode {
+  /// Deposits made during the sweep are visible to later vertices of the
+  /// same sweep — the paper's local computation stage ("new local views
+  /// visible to local neighbours immediately"). Fast local convergence.
+  kGaussSeidel,
+  /// Only vertices with a message at sweep entry are processed; everything
+  /// deposited during the sweep waits for the next round. This is Algorithm
+  /// 1's coherency point (batch Applys then ScatterGatherMsgs): each vertex
+  /// applies its *complete* round accumulator, which keeps threshold-based
+  /// programs (PageRank-Delta) from splitting one superstep's delta into
+  /// many sub-tolerance trickles.
+  kSnapshot,
+};
+
+/// One apply+scatter sweep on machine `m` over replicas with pending
+/// messages (in lvid order; deterministic).
+template <VertexProgram P>
+SweepCounters local_sweep(const P& prog, const partition::Part& part,
+                          PartState<P>& s,
+                          SweepMode mode = SweepMode::kGaussSeidel,
+                          std::vector<lvid_t>* scratch = nullptr) {
+  SweepCounters c;
+  const lvid_t n = part.num_local();
+
+  auto process = [&](lvid_t v, const typename P::Msg& m) {
+    const VertexInfo info = vertex_info<P>(part, v);
+    ++c.applies;
+    ++c.work;
+    const auto payload = prog.apply(s.vdata[v], info, m);
+    if (!payload) return;
+    for (std::uint64_t e = part.offsets[v]; e < part.offsets[v + 1]; ++e) {
+      const lvid_t u = part.targets[e];
+      const typename P::Msg out = prog.scatter(*payload, info, part.weights[e]);
+      deposit_msg(prog, s, u, out);
+      if (!part.parallel_mode[e] && part.num_replicas(u) > 1) {
+        deposit_delta(prog, s, u, out);
+      }
+      ++c.work;
+    }
+  };
+
+  if (mode == SweepMode::kSnapshot) {
+    // Capture (vertex, accumulator) pairs up front: applies in this sweep see
+    // exactly the messages present at entry, deposits wait for the next round.
+    std::vector<lvid_t> local_scratch;
+    std::vector<lvid_t>& snapshot = scratch ? *scratch : local_scratch;
+    snapshot.clear();
+    std::vector<typename P::Msg> accums;
+    for (lvid_t v = 0; v < n; ++v) {
+      if (!s.has_msg[v]) continue;
+      snapshot.push_back(v);
+      accums.push_back(s.msg[v]);
+      s.has_msg[v] = 0;
+    }
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+      process(snapshot[i], accums[i]);
+    }
+  } else {
+    for (lvid_t v = 0; v < n; ++v) {
+      if (!s.has_msg[v]) continue;
+      const typename P::Msg m = s.msg[v];
+      s.has_msg[v] = 0;
+      process(v, m);
+    }
+  }
+  return c;
+}
+
+}  // namespace lazygraph::engine

@@ -1,0 +1,76 @@
+// The LazyGraph programming interface (paper Section 3.1).
+//
+// Programs are push-style GAS with delta propagation: the vertex update must
+// have the form  x(t+1) = x(t) +op ⊕_{j->i} Δj(t)  with a commutative,
+// associative user Sum (⊕). A program provides:
+//
+//   using VData   = ...;  // per-vertex state
+//   using Msg     = ...;  // message / delta type
+//   using Scatter = ...;  // payload produced by Apply, consumed by Scatter
+//   static constexpr bool kIdempotent;  // Sum idempotent (min/max)?
+//   static constexpr bool kHasInverse;  // inverse(total, own) available?
+//
+//   VData init_data(const VertexInfo&) const;
+//   std::optional<Msg> init_vertex_message(const VertexInfo&) const;
+//   std::optional<Msg> init_edge_message(const VertexInfo& src) const;
+//   Msg sum(Msg, Msg) const;                   // the ⊕ combiner
+//   Msg inverse(Msg total, Msg own) const;     // only if kHasInverse
+//   std::optional<Scatter> apply(VData&, const VertexInfo&, Msg accum) const;
+//   Msg scatter(const Scatter&, const VertexInfo& src, float edge_weight) const;
+//
+// Apply consumes the combined accumulator and returns a Scatter payload when
+// the change must be propagated to out-neighbours (the paper's delta).
+// mirrors-to-master exchanges need either kHasInverse (to subtract a
+// replica's own delta from the combined one) or kIdempotent (re-applying the
+// own delta is harmless).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <optional>
+
+#include "util/common.hpp"
+
+namespace lazygraph::engine {
+
+/// Static facts about a vertex handed to every program callback.
+struct VertexInfo {
+  vid_t gid = 0;
+  vid_t out_degree = 0;    // user-view (global) out-degree
+  vid_t total_degree = 0;  // user-view in+out degree
+};
+
+template <class P>
+concept VertexProgram = requires(const P p, typename P::VData& v,
+                                 typename P::Msg m, const VertexInfo& info,
+                                 const typename P::Scatter& s, float w) {
+  requires std::same_as<std::remove_const_t<decltype(P::kIdempotent)>, bool>;
+  requires std::same_as<std::remove_const_t<decltype(P::kHasInverse)>, bool>;
+  requires P::kIdempotent || P::kHasInverse;  // needed by mirrors-to-master
+  { p.init_data(info) } -> std::same_as<typename P::VData>;
+  {
+    p.init_vertex_message(info)
+  } -> std::same_as<std::optional<typename P::Msg>>;
+  {
+    p.init_edge_message(info)
+  } -> std::same_as<std::optional<typename P::Msg>>;
+  { p.sum(m, m) } -> std::same_as<typename P::Msg>;
+  { p.apply(v, info, m) } -> std::same_as<std::optional<typename P::Scatter>>;
+  { p.scatter(s, info, w) } -> std::same_as<typename P::Msg>;
+};
+
+/// Combines a replica's own delta out of a mirrors-to-master total:
+/// uses Inverse when available, otherwise relies on idempotence.
+template <VertexProgram P>
+typename P::Msg without_own(const P& p, typename P::Msg total,
+                            typename P::Msg own) {
+  if constexpr (P::kHasInverse) {
+    return p.inverse(total, own);
+  } else {
+    static_assert(P::kIdempotent,
+                  "mirrors-to-master needs Inverse or an idempotent Sum");
+    return total;
+  }
+}
+
+}  // namespace lazygraph::engine

@@ -1,0 +1,55 @@
+// Convenience dispatch used by examples, tests and the benchmark matrix:
+// run any program on any engine by enum.
+#pragma once
+
+#include <string>
+
+#include "engine/async_engine.hpp"
+#include "engine/lazy_block_engine.hpp"
+#include "engine/lazy_vertex_engine.hpp"
+#include "engine/sync_engine.hpp"
+
+namespace lazygraph::engine {
+
+enum class EngineKind { kSync, kAsync, kLazyBlock, kLazyVertex };
+
+inline const char* to_string(EngineKind k) {
+  switch (k) {
+    case EngineKind::kSync: return "powergraph-sync";
+    case EngineKind::kAsync: return "powergraph-async";
+    case EngineKind::kLazyBlock: return "lazygraph-block";
+    case EngineKind::kLazyVertex: return "lazygraph-vertex";
+  }
+  return "?";
+}
+
+struct EngineOptions {
+  SyncOptions sync = {};
+  AsyncOptions async = {};
+  LazyOptions lazy = {};
+  LazyVertexOptions lazy_vertex = {};
+  /// E/V ratio of the user-view graph; feeds the adaptive interval model.
+  double graph_ev_ratio = 0.0;
+};
+
+template <VertexProgram P>
+RunResult<P> run_engine(EngineKind kind, const partition::DistributedGraph& dg,
+                        const P& prog, sim::Cluster& cluster,
+                        const EngineOptions& opts = {}) {
+  switch (kind) {
+    case EngineKind::kSync:
+      return SyncEngine<P>(dg, prog, cluster, opts.sync).run();
+    case EngineKind::kAsync:
+      return AsyncEngine<P>(dg, prog, cluster, opts.async).run();
+    case EngineKind::kLazyBlock:
+      return LazyBlockAsyncEngine<P>(dg, prog, cluster, opts.lazy,
+                                     opts.graph_ev_ratio)
+          .run();
+    case EngineKind::kLazyVertex:
+      return LazyVertexAsyncEngine<P>(dg, prog, cluster, opts.lazy_vertex)
+          .run();
+  }
+  throw std::invalid_argument("run_engine: bad engine kind");
+}
+
+}  // namespace lazygraph::engine

@@ -1,0 +1,117 @@
+// Per-machine runtime state shared by all engines: the paper's vdata[v],
+// message[v], deltaMsg[v] tables (Section 3.2) plus scatter-payload staging
+// used by the eager engines' master->mirror broadcasts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/program.hpp"
+#include "partition/dgraph.hpp"
+
+namespace lazygraph::engine {
+
+/// Wire sizes used for traffic accounting: an 8-byte routing header (vertex
+/// id + flags) plus the payload.
+template <class T>
+constexpr std::uint64_t wire_bytes() {
+  return 8 + sizeof(T);
+}
+
+template <VertexProgram P>
+struct PartState {
+  std::vector<typename P::VData> vdata;
+  std::vector<typename P::Msg> msg;
+  std::vector<std::uint8_t> has_msg;
+  std::vector<typename P::Msg> delta;
+  std::vector<std::uint8_t> has_delta;
+  std::vector<typename P::Scatter> payload;
+  std::vector<std::uint8_t> has_payload;
+
+  void resize(lvid_t n) {
+    vdata.resize(n);
+    msg.resize(n);
+    has_msg.assign(n, 0);
+    delta.resize(n);
+    has_delta.assign(n, 0);
+    payload.resize(n);
+    has_payload.assign(n, 0);
+  }
+
+  std::uint64_t count_msgs() const {
+    std::uint64_t c = 0;
+    for (const auto f : has_msg) c += f;
+    return c;
+  }
+};
+
+template <VertexProgram P>
+VertexInfo vertex_info(const partition::Part& part, lvid_t v) {
+  return {part.gids[v], part.global_out_degree[v],
+          part.global_total_degree[v]};
+}
+
+/// Sum-combines `m` into the message slot of `v`.
+template <VertexProgram P>
+void deposit_msg(const P& prog, PartState<P>& s, lvid_t v,
+                 const typename P::Msg& m) {
+  if (s.has_msg[v]) {
+    s.msg[v] = prog.sum(s.msg[v], m);
+  } else {
+    s.msg[v] = m;
+    s.has_msg[v] = 1;
+  }
+}
+
+/// Sum-combines `m` into the delta slot of `v` (one-edge-mode accumulation).
+template <VertexProgram P>
+void deposit_delta(const P& prog, PartState<P>& s, lvid_t v,
+                   const typename P::Msg& m) {
+  if (s.has_delta[v]) {
+    s.delta[v] = prog.sum(s.delta[v], m);
+  } else {
+    s.delta[v] = m;
+    s.has_delta[v] = 1;
+  }
+}
+
+/// Initializes vdata on every replica.
+template <VertexProgram P>
+std::vector<PartState<P>> make_states(const partition::DistributedGraph& dg,
+                                      const P& prog) {
+  std::vector<PartState<P>> states(dg.num_machines());
+  for (machine_t m = 0; m < dg.num_machines(); ++m) {
+    const partition::Part& part = dg.part(m);
+    states[m].resize(part.num_local());
+    for (lvid_t v = 0; v < part.num_local(); ++v) {
+      states[m].vdata[v] = prog.init_data(vertex_info<P>(part, v));
+    }
+  }
+  return states;
+}
+
+/// Extracts the converged vertex data, one entry per global vertex, read
+/// from each vertex's master replica.
+template <VertexProgram P>
+std::vector<typename P::VData> collect_master_data(
+    const partition::DistributedGraph& dg,
+    const std::vector<PartState<P>>& states) {
+  std::vector<typename P::VData> out(dg.num_global_vertices());
+  for (machine_t m = 0; m < dg.num_machines(); ++m) {
+    const partition::Part& part = dg.part(m);
+    for (lvid_t v = 0; v < part.num_local(); ++v) {
+      if (part.master[v] == m) out[part.gids[v]] = states[m].vdata[v];
+    }
+  }
+  return out;
+}
+
+/// Result of one engine run.
+template <VertexProgram P>
+struct RunResult {
+  std::vector<typename P::VData> data;  // per global vertex
+  bool converged = false;
+  std::uint64_t supersteps = 0;
+};
+
+}  // namespace lazygraph::engine

@@ -1,0 +1,133 @@
+#include "graph/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "graph/reference.hpp"
+
+namespace lazygraph::analysis {
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats s;
+  const auto deg = g.total_degrees();
+  if (deg.empty()) return s;
+  std::vector<vid_t> sorted = deg;
+  std::sort(sorted.begin(), sorted.end());
+  std::uint64_t total = 0;
+  for (const auto d : sorted) total += d;
+  s.mean = static_cast<double>(total) / static_cast<double>(sorted.size());
+  s.max = sorted.back();
+  s.median = sorted[sorted.size() / 2];
+  s.p99 = sorted[static_cast<std::size_t>(
+      0.99 * static_cast<double>(sorted.size() - 1))];
+  const auto top_begin = static_cast<std::size_t>(
+      0.99 * static_cast<double>(sorted.size()));
+  std::uint64_t top_edges = 0;
+  for (std::size_t i = top_begin; i < sorted.size(); ++i)
+    top_edges += sorted[i];
+  s.top1_edge_share =
+      total ? static_cast<double>(top_edges) / static_cast<double>(total)
+            : 0.0;
+  return s;
+}
+
+double powerlaw_alpha(const Graph& g, double tail_fraction) {
+  const auto deg = g.total_degrees();
+  std::vector<vid_t> sorted;
+  sorted.reserve(deg.size());
+  for (const auto d : deg) {
+    if (d > 0) sorted.push_back(d);
+  }
+  if (sorted.size() < 10) return 0.0;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const auto k = std::max<std::size_t>(
+      2, static_cast<std::size_t>(tail_fraction *
+                                  static_cast<double>(sorted.size())));
+  // Hill estimator: alpha = 1 + k / sum(ln(d_i / d_k)).
+  const double dk = sorted[k - 1];
+  if (dk <= 0) return 0.0;
+  double log_sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    log_sum += std::log(static_cast<double>(sorted[i]) / dk);
+  }
+  if (log_sum <= 0.0) return 0.0;
+  return 1.0 + static_cast<double>(k) / log_sum;
+}
+
+namespace {
+std::pair<vid_t, std::uint32_t> farthest(const Graph& und, vid_t from) {
+  const auto dist = reference::bfs(und, from);
+  vid_t best = from;
+  std::uint32_t best_d = 0;
+  for (vid_t v = 0; v < und.num_vertices(); ++v) {
+    if (dist[v] != std::numeric_limits<std::uint32_t>::max() &&
+        dist[v] > best_d) {
+      best_d = dist[v];
+      best = v;
+    }
+  }
+  return {best, best_d};
+}
+}  // namespace
+
+std::uint32_t approximate_diameter(const Graph& g, vid_t seed) {
+  if (g.num_vertices() == 0) return 0;
+  require(seed < g.num_vertices(), "approximate_diameter: bad seed");
+  const Graph und = g.symmetrized();
+  const auto [far, d1] = farthest(und, seed);
+  const auto [far2, d2] = farthest(und, far);
+  (void)far2;
+  return std::max(d1, d2);
+}
+
+DegeneracyResult degeneracy(const Graph& g) {
+  const Graph und = g.symmetrized();
+  const Csr& adj = und.out_csr();
+  const vid_t n = und.num_vertices();
+  DegeneracyResult result;
+  result.core_number.assign(n, 0);
+  if (n == 0) return result;
+
+  // Bucket-based peeling (Matula-Beck): O(V + E).
+  std::vector<std::uint32_t> deg(n);
+  std::uint32_t max_deg = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    deg[v] = static_cast<std::uint32_t>(adj.degree(v));
+    max_deg = std::max(max_deg, deg[v]);
+  }
+  std::vector<std::vector<vid_t>> buckets(max_deg + 1);
+  for (vid_t v = 0; v < n; ++v) buckets[deg[v]].push_back(v);
+  std::vector<std::uint8_t> removed(n, 0);
+  std::uint32_t current = 0;
+  vid_t processed = 0;
+  std::uint32_t cursor = 0;
+  while (processed < n) {
+    while (cursor <= max_deg && buckets[cursor].empty()) ++cursor;
+    // deg[] entries in buckets may be stale; re-check on pop.
+    const vid_t v = buckets[cursor].back();
+    buckets[cursor].pop_back();
+    if (removed[v] || deg[v] != cursor) {
+      if (!removed[v] && deg[v] < cursor) {
+        buckets[deg[v]].push_back(v);
+        cursor = deg[v];
+      }
+      continue;
+    }
+    removed[v] = 1;
+    ++processed;
+    current = std::max(current, cursor);
+    result.core_number[v] = current;
+    for (const vid_t u : adj.neighbors(v)) {
+      if (removed[u] || deg[u] == 0) continue;
+      --deg[u];
+      buckets[deg[u]].push_back(u);
+      if (deg[u] < cursor) cursor = deg[u];
+    }
+  }
+  result.degeneracy = current;
+  return result;
+}
+
+}  // namespace lazygraph::analysis

@@ -1,0 +1,44 @@
+// Graph analysis utilities: degree statistics, power-law tail estimation,
+// approximate diameter, degeneracy. Used by the dataset calibration, the
+// benchmark reports, and as extra example material.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lazygraph::analysis {
+
+struct DegreeStats {
+  double mean = 0.0;
+  vid_t max = 0;
+  vid_t median = 0;
+  vid_t p99 = 0;
+  /// Fraction of edges incident to the top 1% highest-degree vertices —
+  /// a simple skew measure (near 1.0 for hub-dominated graphs).
+  double top1_edge_share = 0.0;
+};
+
+/// Statistics over total (in+out) degree.
+DegreeStats degree_stats(const Graph& g);
+
+/// Hill estimator of the power-law tail exponent alpha of the total-degree
+/// distribution, using the top `tail_fraction` of vertices. Returns 0 for
+/// degenerate inputs.
+double powerlaw_alpha(const Graph& g, double tail_fraction = 0.05);
+
+/// Approximate diameter (hop count) of the undirected view via a double BFS
+/// sweep: BFS from `seed`, then BFS from the farthest vertex found. A lower
+/// bound on the true diameter; exact on trees.
+std::uint32_t approximate_diameter(const Graph& g, vid_t seed = 0);
+
+/// Degeneracy (the largest k such that the k-core is non-empty) of the
+/// undirected view, plus each vertex's core number, via peeling.
+struct DegeneracyResult {
+  std::uint32_t degeneracy = 0;
+  std::vector<std::uint32_t> core_number;
+};
+DegeneracyResult degeneracy(const Graph& g);
+
+}  // namespace lazygraph::analysis

@@ -1,0 +1,41 @@
+// Synthetic analogues of the eight real-world graphs of the paper's Table 1.
+//
+// The originals (UK-2005, twitter, road-USA, ...) are not redistributable /
+// available offline, so each analogue matches the property the paper shows
+// the speedup depends on: the E/V ratio and the degree skew, which together
+// with the partitioner determine the replication factor lambda (Section 5.3).
+// Sizes are scaled down ~100-1000x so the whole evaluation runs in minutes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lazygraph::datasets {
+
+enum class Family { kWeb, kRoad, kSocial };
+
+struct DatasetSpec {
+  std::string name;        // analogue name, e.g. "uk2005-like"
+  std::string paper_name;  // the Table 1 original
+  Family family = Family::kWeb;
+  double paper_ev_ratio = 0.0;  // E/V from Table 1
+  double paper_lambda = 0.0;    // lambda from Table 1 (coordinated, 48 parts)
+  double paper_vertices = 0.0;  // #V from Table 1, in millions
+  double paper_edges = 0.0;     // #E from Table 1, in millions
+};
+
+/// The eight Table 1 rows, in the paper's order.
+const std::vector<DatasetSpec>& table1_specs();
+
+/// Builds the analogue graph for a spec (deterministic).
+/// `scale` in (0, 1] shrinks vertex counts further for quick tests.
+Graph make(const DatasetSpec& spec, double scale = 1.0,
+           std::uint64_t seed = 2018);
+
+/// Convenience: find a spec by analogue name; throws if unknown.
+const DatasetSpec& spec_by_name(const std::string& name);
+
+}  // namespace lazygraph::datasets

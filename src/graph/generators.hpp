@@ -1,0 +1,65 @@
+// Deterministic synthetic graph generators.
+//
+// These stand in for the paper's real-world inputs (Table 1): R-MAT and
+// Chung-Lu for skewed social/web graphs, a 2D lattice with shortcuts for road
+// networks, plus simple structured graphs for tests.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace lazygraph::gen {
+
+struct WeightSpec {
+  float min = 1.0f;
+  float max = 1.0f;  // max == min means constant weights
+};
+
+/// Erdos-Renyi G(n, m): m edges drawn uniformly (self-loops excluded,
+/// duplicates allowed then simplified).
+Graph erdos_renyi(vid_t n, std::uint64_t m, std::uint64_t seed,
+                  WeightSpec w = {});
+
+/// R-MAT generator (Chakrabarti et al.): recursive quadrant sampling with
+/// probabilities (a, b, c, d). Skewed parameters produce power-law-like
+/// degree distributions similar to social networks.
+Graph rmat(vid_t scale, std::uint64_t edges_per_vertex, double a, double b,
+           double c, std::uint64_t seed, WeightSpec w = {});
+
+/// Optional locality for skewed generators: vertices are grouped into
+/// disjoint id blocks (hosts); with probability p_local the destination is
+/// drawn from the source's own block, mimicking the host-locality of web
+/// crawls (most links stay on-site). p_local = 0 disables it.
+struct LocalitySpec {
+  double p_local = 0.0;
+  vid_t block = 64;
+};
+
+/// Chung-Lu model: expected degree of vertex i proportional to
+/// (i+1)^(-1/(alpha-1)) for power-law exponent alpha (~2..3). Duplicate
+/// edges and self-loops are rejected online, so the result has exactly `m`
+/// distinct edges (unless the attempt budget runs out on tiny graphs).
+Graph chung_lu(vid_t n, std::uint64_t m, double alpha, std::uint64_t seed,
+               WeightSpec w = {}, LocalitySpec locality = {});
+
+/// Road-network analogue over a rows x cols grid: a serpentine Hamiltonian
+/// backbone (guarantees connectivity, degree ~2, long diameter) plus
+/// `extra_frac * n` additional random lattice-neighbour edges. All edges are
+/// bidirectional, so E/V ~ 2 * (1 + extra_frac) — matching the arc counts of
+/// the DIMACS road graphs.
+Graph road_lattice(vid_t rows, vid_t cols, double extra_frac,
+                   std::uint64_t seed, WeightSpec w = {});
+
+/// Directed path 0 -> 1 -> ... -> n-1.
+Graph path(vid_t n, WeightSpec w = {});
+/// Directed cycle.
+Graph cycle(vid_t n, WeightSpec w = {});
+/// Star: center 0 -> leaves, and leaves -> 0 when `bidirectional`.
+Graph star(vid_t leaves, bool bidirectional);
+/// Complete directed graph on n vertices (no self-loops). Keep n small.
+Graph complete(vid_t n);
+/// 2D grid (rows x cols) with edges in both directions; unit weights.
+Graph grid(vid_t rows, vid_t cols);
+
+}  // namespace lazygraph::gen

@@ -1,0 +1,120 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace lazygraph {
+
+Graph::Graph(vid_t num_vertices, std::vector<Edge> edges)
+    : num_vertices_(num_vertices), edges_(std::move(edges)) {
+  for (const Edge& e : edges_) {
+    require(e.src < num_vertices_ && e.dst < num_vertices_,
+            "Graph: edge endpoint out of range");
+  }
+}
+
+double Graph::edge_vertex_ratio() const {
+  if (num_vertices_ == 0) return 0.0;
+  return static_cast<double>(edges_.size()) /
+         static_cast<double>(num_vertices_);
+}
+
+std::vector<vid_t> Graph::out_degrees() const {
+  std::vector<vid_t> deg(num_vertices_, 0);
+  for (const Edge& e : edges_) ++deg[e.src];
+  return deg;
+}
+
+std::vector<vid_t> Graph::in_degrees() const {
+  std::vector<vid_t> deg(num_vertices_, 0);
+  for (const Edge& e : edges_) ++deg[e.dst];
+  return deg;
+}
+
+std::vector<vid_t> Graph::total_degrees() const {
+  std::vector<vid_t> deg(num_vertices_, 0);
+  for (const Edge& e : edges_) {
+    ++deg[e.src];
+    ++deg[e.dst];
+  }
+  return deg;
+}
+
+Csr build_csr(vid_t num_vertices, const std::vector<Edge>& edges,
+              bool by_source) {
+  Csr csr;
+  csr.offsets.assign(num_vertices + 1, 0);
+  for (const Edge& e : edges) ++csr.offsets[(by_source ? e.src : e.dst) + 1];
+  for (vid_t v = 0; v < num_vertices; ++v)
+    csr.offsets[v + 1] += csr.offsets[v];
+  csr.targets.resize(edges.size());
+  csr.weights.resize(edges.size());
+  std::vector<std::uint64_t> cursor(csr.offsets.begin(),
+                                    csr.offsets.end() - 1);
+  for (const Edge& e : edges) {
+    const vid_t key = by_source ? e.src : e.dst;
+    const std::uint64_t pos = cursor[key]++;
+    csr.targets[pos] = by_source ? e.dst : e.src;
+    csr.weights[pos] = e.weight;
+  }
+  return csr;
+}
+
+const Csr& Graph::out_csr() const {
+  if (!have_out_) {
+    out_csr_ = build_csr(num_vertices_, edges_, /*by_source=*/true);
+    have_out_ = true;
+  }
+  return out_csr_;
+}
+
+const Csr& Graph::in_csr() const {
+  if (!have_in_) {
+    in_csr_ = build_csr(num_vertices_, edges_, /*by_source=*/false);
+    have_in_ = true;
+  }
+  return in_csr_;
+}
+
+Graph Graph::transposed() const {
+  std::vector<Edge> rev;
+  rev.reserve(edges_.size());
+  for (const Edge& e : edges_) rev.push_back({e.dst, e.src, e.weight});
+  return Graph(num_vertices_, std::move(rev));
+}
+
+namespace {
+// Packs an ordered (src,dst) pair into a 64-bit key for dedup sets.
+std::uint64_t pair_key(vid_t a, vid_t b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+}  // namespace
+
+Graph Graph::symmetrized() const {
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(edges_.size() * 2);
+  std::vector<Edge> out;
+  out.reserve(edges_.size() * 2);
+  for (const Edge& e : edges_) {
+    if (e.src == e.dst) continue;
+    if (seen.insert(pair_key(e.src, e.dst)).second)
+      out.push_back({e.src, e.dst, e.weight});
+    if (seen.insert(pair_key(e.dst, e.src)).second)
+      out.push_back({e.dst, e.src, e.weight});
+  }
+  return Graph(num_vertices_, std::move(out));
+}
+
+Graph Graph::simplified() const {
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(edges_.size());
+  std::vector<Edge> out;
+  out.reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    if (e.src == e.dst) continue;
+    if (seen.insert(pair_key(e.src, e.dst)).second) out.push_back(e);
+  }
+  return Graph(num_vertices_, std::move(out));
+}
+
+}  // namespace lazygraph

@@ -1,0 +1,87 @@
+// In-memory directed graph: edge list plus an optional CSR index.
+//
+// This is the "user view" graph of the paper: the distributed runtime
+// (partition/, engine/) consumes it and produces the partitioned graph.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace lazygraph {
+
+struct Edge {
+  vid_t src = 0;
+  vid_t dst = 0;
+  float weight = 1.0f;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Compressed sparse row index over an edge array sorted by source.
+struct Csr {
+  std::vector<std::uint64_t> offsets;  // size = num_vertices + 1
+  std::vector<vid_t> targets;          // size = num_edges
+  std::vector<float> weights;          // parallel to targets
+
+  std::span<const vid_t> neighbors(vid_t v) const {
+    return {targets.data() + offsets[v],
+            targets.data() + offsets[v + 1]};
+  }
+  std::span<const float> edge_weights(vid_t v) const {
+    return {weights.data() + offsets[v],
+            weights.data() + offsets[v + 1]};
+  }
+  std::uint64_t degree(vid_t v) const { return offsets[v + 1] - offsets[v]; }
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  /// Takes ownership of an edge list over vertices [0, num_vertices).
+  /// Every edge endpoint must be < num_vertices.
+  Graph(vid_t num_vertices, std::vector<Edge> edges);
+
+  vid_t num_vertices() const { return num_vertices_; }
+  std::uint64_t num_edges() const { return edges_.size(); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Average out-degree E/V (the paper's locality feature).
+  double edge_vertex_ratio() const;
+
+  /// Out-degree / in-degree of every vertex.
+  std::vector<vid_t> out_degrees() const;
+  std::vector<vid_t> in_degrees() const;
+  /// out-degree + in-degree (used by k-core on directed inputs).
+  std::vector<vid_t> total_degrees() const;
+
+  /// Builds a CSR over out-edges (cached; cheap to call repeatedly).
+  const Csr& out_csr() const;
+  /// Builds a CSR over in-edges (i.e. of the transposed graph).
+  const Csr& in_csr() const;
+
+  /// Graph with every edge reversed.
+  Graph transposed() const;
+  /// Graph where each directed edge {u,v} appears in both directions exactly
+  /// once (duplicates collapsed, self-loops removed). Weights are kept from
+  /// an arbitrary representative of each undirected pair.
+  Graph symmetrized() const;
+  /// Copy with duplicate (src,dst) pairs and self-loops removed.
+  Graph simplified() const;
+
+ private:
+  vid_t num_vertices_ = 0;
+  std::vector<Edge> edges_;
+  // Lazily built indices. Mutable: building an index does not change the
+  // logical graph.
+  mutable Csr out_csr_, in_csr_;
+  mutable bool have_out_ = false, have_in_ = false;
+};
+
+/// Builds a CSR from an edge list, ordered by (src, then input order).
+Csr build_csr(vid_t num_vertices, const std::vector<Edge>& edges,
+              bool by_source);
+
+}  // namespace lazygraph

@@ -1,0 +1,103 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/common.hpp"
+
+namespace lazygraph::io {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x4c415a5947524148ULL;  // "LAZYGRAH"
+
+std::ifstream open_in(const std::string& path, std::ios::openmode mode) {
+  std::ifstream f(path, mode);
+  if (!f) throw std::runtime_error("cannot open for reading: " + path);
+  return f;
+}
+
+std::ofstream open_out(const std::string& path, std::ios::openmode mode) {
+  std::ofstream f(path, mode);
+  if (!f) throw std::runtime_error("cannot open for writing: " + path);
+  return f;
+}
+}  // namespace
+
+Graph read_edge_list(std::istream& in) {
+  std::vector<Edge> edges;
+  vid_t max_id = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::uint64_t src = 0, dst = 0;
+    double weight = 1.0;
+    if (!(ls >> src >> dst)) {
+      throw std::runtime_error("malformed edge-list line: " + line);
+    }
+    ls >> weight;  // optional
+    edges.push_back({static_cast<vid_t>(src), static_cast<vid_t>(dst),
+                     static_cast<float>(weight)});
+    max_id = std::max({max_id, static_cast<vid_t>(src),
+                       static_cast<vid_t>(dst)});
+  }
+  const vid_t n = edges.empty() ? 0 : max_id + 1;
+  return Graph(n, std::move(edges));
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  auto f = open_in(path, std::ios::in);
+  return read_edge_list(f);
+}
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << "# lazygraph edge list: " << g.num_vertices() << " vertices, "
+      << g.num_edges() << " edges\n";
+  for (const Edge& e : g.edges()) {
+    out << e.src << ' ' << e.dst << ' ' << e.weight << '\n';
+  }
+}
+
+void write_edge_list_file(const Graph& g, const std::string& path) {
+  auto f = open_out(path, std::ios::out);
+  write_edge_list(g, f);
+}
+
+void write_binary(const Graph& g, std::ostream& out) {
+  const std::uint64_t n = g.num_vertices();
+  const std::uint64_t m = g.num_edges();
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  static_assert(sizeof(Edge) == 12, "Edge layout change breaks binary format");
+  out.write(reinterpret_cast<const char*>(g.edges().data()),
+            static_cast<std::streamsize>(m * sizeof(Edge)));
+}
+
+void write_binary_file(const Graph& g, const std::string& path) {
+  auto f = open_out(path, std::ios::binary);
+  write_binary(g, f);
+}
+
+Graph read_binary(std::istream& in) {
+  std::uint64_t magic = 0, n = 0, m = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in || magic != kMagic)
+    throw std::runtime_error("read_binary: bad magic");
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&m), sizeof(m));
+  std::vector<Edge> edges(m);
+  in.read(reinterpret_cast<char*>(edges.data()),
+          static_cast<std::streamsize>(m * sizeof(Edge)));
+  if (!in) throw std::runtime_error("read_binary: truncated edge data");
+  return Graph(static_cast<vid_t>(n), std::move(edges));
+}
+
+Graph read_binary_file(const std::string& path) {
+  auto f = open_in(path, std::ios::binary);
+  return read_binary(f);
+}
+
+}  // namespace lazygraph::io

@@ -1,0 +1,27 @@
+// Graph serialization: whitespace-separated edge-list text (SNAP style,
+// '#' comments, optional third weight column) and a compact binary format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace lazygraph::io {
+
+/// Reads "src dst [weight]" lines; '#'-prefixed lines are comments.
+/// num_vertices is max id + 1.
+Graph read_edge_list(std::istream& in);
+Graph read_edge_list_file(const std::string& path);
+
+/// Writes "src dst weight" lines.
+void write_edge_list(const Graph& g, std::ostream& out);
+void write_edge_list_file(const Graph& g, const std::string& path);
+
+/// Binary format: magic, num_vertices, num_edges, then packed edges.
+void write_binary(const Graph& g, std::ostream& out);
+void write_binary_file(const Graph& g, const std::string& path);
+Graph read_binary(std::istream& in);
+Graph read_binary_file(const std::string& path);
+
+}  // namespace lazygraph::io

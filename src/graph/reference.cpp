@@ -1,0 +1,187 @@
+#include "graph/reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace lazygraph::reference {
+
+std::vector<double> pagerank(const Graph& g, double tol, int max_iters) {
+  const vid_t n = g.num_vertices();
+  const Csr& out = g.out_csr();
+  std::vector<double> rank(n, 0.15), next(n);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    std::fill(next.begin(), next.end(), 0.15);
+    for (vid_t v = 0; v < n; ++v) {
+      const auto deg = out.degree(v);
+      if (deg == 0) continue;
+      const double share = 0.85 * rank[v] / static_cast<double>(deg);
+      for (const vid_t u : out.neighbors(v)) next[u] += share;
+    }
+    double max_delta = 0.0;
+    for (vid_t v = 0; v < n; ++v)
+      max_delta = std::max(max_delta, std::abs(next[v] - rank[v]));
+    rank.swap(next);
+    if (max_delta < tol) break;
+  }
+  return rank;
+}
+
+std::vector<double> sssp(const Graph& g, vid_t source) {
+  require(source < g.num_vertices(), "sssp: source out of range");
+  const Csr& out = g.out_csr();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(g.num_vertices(), kInf);
+  using Item = std::pair<double, vid_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[source] = 0.0;
+  pq.push({0.0, source});
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[v]) continue;
+    const auto nbrs = out.neighbors(v);
+    const auto wts = out.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const double nd = d + wts[i];
+      if (nd < dist[nbrs[i]]) {
+        dist[nbrs[i]] = nd;
+        pq.push({nd, nbrs[i]});
+      }
+    }
+  }
+  return dist;
+}
+
+namespace {
+/// Union-find with path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(vid_t n) : parent_(n) {
+    for (vid_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  vid_t find(vid_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(vid_t a, vid_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (a < b) parent_[b] = a;  // keep smallest id as root -> min-label CC
+    else parent_[a] = b;
+  }
+
+ private:
+  std::vector<vid_t> parent_;
+};
+}  // namespace
+
+std::vector<vid_t> connected_components(const Graph& g) {
+  UnionFind uf(g.num_vertices());
+  for (const Edge& e : g.edges()) uf.unite(e.src, e.dst);
+  std::vector<vid_t> label(g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) label[v] = uf.find(v);
+  return label;
+}
+
+std::vector<bool> kcore(const Graph& g, std::uint32_t k) {
+  const Graph und = g.symmetrized();
+  const Csr& adj = und.out_csr();
+  const vid_t n = und.num_vertices();
+  std::vector<std::uint64_t> deg(n);
+  for (vid_t v = 0; v < n; ++v) deg[v] = adj.degree(v);
+  std::vector<bool> alive(n, true);
+  std::queue<vid_t> work;
+  for (vid_t v = 0; v < n; ++v)
+    if (deg[v] < k) work.push(v);
+  while (!work.empty()) {
+    const vid_t v = work.front();
+    work.pop();
+    if (!alive[v]) continue;
+    alive[v] = false;
+    for (const vid_t u : adj.neighbors(v)) {
+      if (alive[u] && deg[u]-- == k) work.push(u);
+    }
+  }
+  return alive;
+}
+
+std::vector<std::uint32_t> bfs(const Graph& g, vid_t source) {
+  require(source < g.num_vertices(), "bfs: source out of range");
+  const Csr& out = g.out_csr();
+  std::vector<std::uint32_t> dist(g.num_vertices(),
+                                  std::numeric_limits<std::uint32_t>::max());
+  std::queue<vid_t> q;
+  dist[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const vid_t v = q.front();
+    q.pop();
+    for (const vid_t u : out.neighbors(v)) {
+      if (dist[u] == std::numeric_limits<std::uint32_t>::max()) {
+        dist[u] = dist[v] + 1;
+        q.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> widest_path(const Graph& g, vid_t source) {
+  require(source < g.num_vertices(), "widest_path: source out of range");
+  const Csr& out = g.out_csr();
+  std::vector<double> cap(g.num_vertices(), 0.0);
+  using Item = std::pair<double, vid_t>;
+  std::priority_queue<Item> pq;  // max-heap on capacity
+  cap[source] = std::numeric_limits<double>::infinity();
+  pq.push({cap[source], source});
+  while (!pq.empty()) {
+    const auto [c, v] = pq.top();
+    pq.pop();
+    if (c < cap[v]) continue;
+    const auto nbrs = out.neighbors(v);
+    const auto wts = out.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const double nc = std::min(c, static_cast<double>(wts[i]));
+      if (nc > cap[nbrs[i]]) {
+        cap[nbrs[i]] = nc;
+        pq.push({nc, nbrs[i]});
+      }
+    }
+  }
+  return cap;
+}
+
+std::vector<double> linear_diffusion(const Graph& g,
+                                     const std::vector<double>& bias,
+                                     double alpha, double tol,
+                                     int max_iters) {
+  require(bias.size() == g.num_vertices(),
+          "linear_diffusion: bias size mismatch");
+  require(alpha >= 0.0 && alpha < 1.0, "linear_diffusion: need alpha in [0,1)");
+  const Csr& out = g.out_csr();
+  const vid_t n = g.num_vertices();
+  std::vector<double> x = bias, next(n);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    next = bias;
+    for (vid_t v = 0; v < n; ++v) {
+      const auto deg = out.degree(v);
+      if (deg == 0) continue;
+      const double share = alpha * x[v] / static_cast<double>(deg);
+      for (const vid_t u : out.neighbors(v)) next[u] += share;
+    }
+    double max_delta = 0.0;
+    for (vid_t v = 0; v < n; ++v)
+      max_delta = std::max(max_delta, std::abs(next[v] - x[v]));
+    x.swap(next);
+    if (max_delta < tol) break;
+  }
+  return x;
+}
+
+}  // namespace lazygraph::reference

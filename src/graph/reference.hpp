@@ -1,0 +1,48 @@
+// Sequential reference implementations of the paper's four algorithms
+// (plus BFS). These are the correctness oracles for every distributed engine:
+// SSSP / CC / k-core / BFS must match exactly; PageRank within tolerance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lazygraph::reference {
+
+/// Power-iteration PageRank with damping 0.85, rank(0) = 0.15 (the paper's
+/// un-normalized per-vertex form, Equation 3). Iterates until the largest
+/// per-vertex change is below `tol` or `max_iters` is hit.
+std::vector<double> pagerank(const Graph& g, double tol = 1e-9,
+                             int max_iters = 500);
+
+/// Dijkstra from `source` over out-edges with non-negative weights.
+/// Unreachable vertices get +infinity.
+std::vector<double> sssp(const Graph& g, vid_t source);
+
+/// Connected components over the *undirected* view of g; returns, per
+/// vertex, the smallest vertex id in its component (the usual label-
+/// propagation fixpoint).
+std::vector<vid_t> connected_components(const Graph& g);
+
+/// k-core decomposition over the undirected view: iteratively peel vertices
+/// with degree < k. Returns per-vertex flag: true if the vertex survives in
+/// the k-core.
+std::vector<bool> kcore(const Graph& g, std::uint32_t k);
+
+/// BFS hop distance from `source` over out-edges; unreachable = UINT32_MAX.
+std::vector<std::uint32_t> bfs(const Graph& g, vid_t source);
+
+/// Single-source widest path (maximum bottleneck capacity) via a
+/// max-capacity Dijkstra variant. Unreachable vertices get 0, the source
+/// +infinity.
+std::vector<double> widest_path(const Graph& g, vid_t source);
+
+/// Jacobi iteration for x_i = bias_i + alpha * sum_{j->i} x_j / outdeg(j),
+/// the oracle for algos::LinearDiffusion. Requires alpha < 1.
+std::vector<double> linear_diffusion(const Graph& g,
+                                     const std::vector<double>& bias,
+                                     double alpha, double tol = 1e-12,
+                                     int max_iters = 10000);
+
+}  // namespace lazygraph::reference

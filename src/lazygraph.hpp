@@ -1,0 +1,38 @@
+// Umbrella header: the full public API of the LazyGraph reproduction.
+//
+// Typical use:
+//
+//   #include "lazygraph.hpp"
+//   using namespace lazygraph;
+//
+//   Graph g = gen::rmat(16, 16, 0.57, 0.19, 0.19, /*seed=*/1);
+//   auto assign = partition::assign_edges(g, 8, {});
+//   auto dg = partition::DistributedGraph::build(g, 8, assign);
+//   sim::Cluster cluster({.machines = 8});
+//   algos::PageRankDelta pr{.tol = 1e-3};
+//   auto result = engine::run_engine(engine::EngineKind::kLazyBlock, dg, pr,
+//                                    cluster,
+//                                    {.graph_ev_ratio = g.edge_vertex_ratio()});
+#pragma once
+
+#include "algos/bfs.hpp"
+#include "algos/cc.hpp"
+#include "algos/diffusion.hpp"
+#include "algos/kcore.hpp"
+#include "algos/pagerank.hpp"
+#include "algos/sssp.hpp"
+#include "algos/widest_path.hpp"
+#include "engine/run.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "graph/reference.hpp"
+#include "partition/dgraph.hpp"
+#include "partition/edge_splitter.hpp"
+#include "partition/partitioner.hpp"
+#include "sim/cluster.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"

@@ -1,0 +1,203 @@
+#include "partition/dgraph.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/rng.hpp"
+
+namespace lazygraph::partition {
+
+std::uint32_t Part::num_replicas(lvid_t v) const {
+  return static_cast<std::uint32_t>(std::popcount(replica_mask[v]));
+}
+
+std::uint64_t DistributedGraph::total_local_edges() const {
+  std::uint64_t total = 0;
+  for (const Part& p : parts_) total += p.num_local_edges();
+  return total;
+}
+
+DistributedGraph DistributedGraph::build(
+    const Graph& g, machine_t machines, const Assignment& assignment,
+    std::span<const std::uint64_t> split_edges) {
+  require(machines >= 1 && machines <= 64,
+          "DistributedGraph: machines must be in [1, 64]");
+  require(assignment.edge_machine.size() == g.num_edges(),
+          "DistributedGraph: assignment size mismatch");
+
+  DistributedGraph dg;
+  dg.num_global_ = g.num_vertices();
+  const vid_t n = g.num_vertices();
+
+  std::vector<std::uint8_t> is_split(g.num_edges(), 0);
+  for (const std::uint64_t i : split_edges) {
+    require(i < g.num_edges(), "DistributedGraph: split edge out of range");
+    is_split[i] = 1;
+  }
+
+  // Step 1: base replica masks from the vertex-cut assignment (all edges at
+  // their home machine, including edges that will be split).
+  std::vector<std::uint64_t> mask(n, 0);
+  for (std::size_t i = 0; i < g.edges().size(); ++i) {
+    const Edge& e = g.edges()[i];
+    const std::uint64_t bit = std::uint64_t{1} << assignment.edge_machine[i];
+    mask[e.src] |= bit;
+    mask[e.dst] |= bit;
+  }
+  // Step 2: parallel-edges dispatch — a split edge v->u must appear on every
+  // machine holding a replica of u, and v needs a replica wherever the edge
+  // lands. Adding replicas of v can in turn widen the requirement of split
+  // edges *into* v, so iterate to a fixpoint ("dispatches each
+  // parallel-edges v->u until all parallel-edges don't violate this rule").
+  bool changed = !split_edges.empty();
+  while (changed) {
+    changed = false;
+    for (const std::uint64_t i : split_edges) {
+      const Edge& e = g.edges()[i];
+      const std::uint64_t need = mask[e.dst];
+      if ((mask[e.src] & need) != need) {
+        mask[e.src] |= need;
+        changed = true;
+      }
+    }
+  }
+
+  // Step 3: vertices with no edges still need one replica (for init /
+  // activation); place them by hash.
+  for (vid_t v = 0; v < n; ++v) {
+    if (mask[v] == 0) mask[v] = std::uint64_t{1} << (mix64(v) % machines);
+  }
+
+  // Step 4: master selection — deterministic hash-rotated pick among
+  // replicas (PowerGraph picks arbitrarily; load spreads by hashing).
+  dg.master_of_.resize(n);
+  for (vid_t v = 0; v < n; ++v) {
+    const auto count = static_cast<std::uint32_t>(std::popcount(mask[v]));
+    std::uint32_t pick = static_cast<std::uint32_t>(mix64(v + 1) % count);
+    std::uint64_t m = mask[v];
+    machine_t chosen = 0;
+    for (;;) {
+      chosen = static_cast<machine_t>(std::countr_zero(m));
+      if (pick == 0) break;
+      m &= m - 1;
+      --pick;
+    }
+    dg.master_of_[v] = chosen;
+  }
+
+  // Step 5: local vertex tables (lvids ordered by global id).
+  dg.parts_.resize(machines);
+  const std::vector<vid_t> out_deg = g.out_degrees();
+  const std::vector<vid_t> tot_deg = g.total_degrees();
+  for (vid_t v = 0; v < n; ++v) {
+    std::uint64_t m = mask[v];
+    while (m) {
+      const auto mach = static_cast<machine_t>(std::countr_zero(m));
+      m &= m - 1;
+      Part& part = dg.parts_[mach];
+      const auto lvid = static_cast<lvid_t>(part.gids.size());
+      part.gids.push_back(v);
+      part.g2l.emplace(v, lvid);
+      part.replica_mask.push_back(mask[v]);
+      part.master.push_back(dg.master_of_[v]);
+      part.global_out_degree.push_back(out_deg[v]);
+      part.global_total_degree.push_back(tot_deg[v]);
+    }
+  }
+  dg.master_lvid_of_.resize(n);
+  for (vid_t v = 0; v < n; ++v) {
+    dg.master_lvid_of_[v] = dg.parts_[dg.master_of_[v]].g2l.at(v);
+  }
+  for (Part& part : dg.parts_) {
+    part.master_lvid.resize(part.gids.size());
+    for (lvid_t i = 0; i < part.num_local(); ++i) {
+      part.master_lvid[i] = dg.master_lvid_of_[part.gids[i]];
+    }
+  }
+
+  // Step 6: replica routing tables.
+  for (machine_t m = 0; m < machines; ++m) {
+    Part& part = dg.parts_[m];
+    part.remote_replicas.resize(part.gids.size());
+    for (lvid_t i = 0; i < part.num_local(); ++i) {
+      std::uint64_t bits = part.replica_mask[i];
+      if (std::popcount(bits) <= 1) continue;
+      auto& out = part.remote_replicas[i];
+      while (bits) {
+        const auto r = static_cast<machine_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        if (r == m) continue;
+        out.emplace_back(r, dg.parts_[r].g2l.at(part.gids[i]));
+      }
+    }
+  }
+
+  // Step 7: local edges. Non-split edges stay at their home machine in
+  // one-edge mode; split edges get a parallel copy on every machine holding
+  // a replica of the destination (final masks, per the fixpoint above).
+  struct TmpEdge {
+    vid_t src, dst;
+    float w;
+    bool parallel;
+  };
+  std::vector<std::vector<TmpEdge>> tmp(machines);
+  for (std::size_t i = 0; i < g.edges().size(); ++i) {
+    const Edge& e = g.edges()[i];
+    if (!is_split[i]) {
+      tmp[assignment.edge_machine[i]].push_back(
+          {e.src, e.dst, e.weight, false});
+    } else {
+      std::uint64_t bits = mask[e.dst];
+      while (bits) {
+        const auto m = static_cast<machine_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        tmp[m].push_back({e.src, e.dst, e.weight, true});
+        ++dg.parallel_copies_;
+      }
+      // The home copy is subsumed by the loop (the destination always has a
+      // replica at the home machine), so `parallel_copies_` over-counts by
+      // one per split edge; correct for it.
+      --dg.parallel_copies_;
+    }
+  }
+  for (machine_t m = 0; m < machines; ++m) {
+    Part& part = dg.parts_[m];
+    auto& edges = tmp[m];
+    std::stable_sort(edges.begin(), edges.end(),
+                     [](const TmpEdge& a, const TmpEdge& b) {
+                       return a.src < b.src;
+                     });
+    part.offsets.assign(part.num_local() + 1, 0);
+    part.targets.reserve(edges.size());
+    part.weights.reserve(edges.size());
+    part.parallel_mode.reserve(edges.size());
+    part.local_in_degree.assign(part.num_local(), 0);
+    for (const TmpEdge& e : edges) {
+      const lvid_t ls = part.g2l.at(e.src);
+      const lvid_t ld = part.g2l.at(e.dst);
+      ++part.offsets[ls + 1];
+      ++part.local_in_degree[ld];
+      part.targets.push_back(ld);
+      part.weights.push_back(e.w);
+      part.parallel_mode.push_back(e.parallel ? 1 : 0);
+    }
+    // offsets currently counts per-source in gid order of *sorted edges*;
+    // but targets were appended in sorted-edge order keyed by global src id,
+    // while offsets index by lvid. lvids are assigned in increasing gid
+    // order, so sorting by global src id equals sorting by lvid.
+    for (lvid_t v = 0; v < part.num_local(); ++v) {
+      part.offsets[v + 1] += part.offsets[v];
+    }
+  }
+
+  // Step 8: replication factor over final masks.
+  std::uint64_t replicas = 0;
+  for (vid_t v = 0; v < n; ++v)
+    replicas += static_cast<std::uint64_t>(std::popcount(mask[v]));
+  dg.replication_factor_ =
+      n == 0 ? 0.0 : static_cast<double>(replicas) / static_cast<double>(n);
+
+  return dg;
+}
+
+}  // namespace lazygraph::partition

@@ -1,0 +1,74 @@
+#include "partition/edge_splitter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lazygraph::partition {
+
+SplitCounts solve_split_counts(machine_t machines,
+                               const EdgeSplitterOptions& opts) {
+  SplitCounts c;
+  if (!opts.enabled || opts.t_extra <= 0.0 || machines <= 1) return c;
+  // [PE_high*(P-1) + PE_low*(P/3)] / P = TEPS * t_extra, PE_low = 550*PE_high
+  // => PE_high * [(P-1) + 550*P/3] = P * TEPS * t_extra
+  const double p = machines;
+  const double denom = (p - 1.0) + 550.0 * p / 3.0;
+  const double high = p * opts.teps * opts.t_extra / denom;
+  c.pe_high = static_cast<std::uint64_t>(std::llround(high));
+  // Size the low-degree pool from the unrounded solution so a sub-1 PE_high
+  // still yields its 550x complement of cheap low-degree splits.
+  c.pe_low = static_cast<std::uint64_t>(std::llround(550.0 * high));
+  return c;
+}
+
+std::vector<std::uint64_t> select_split_edges(
+    const Graph& g, machine_t machines, const EdgeSplitterOptions& opts) {
+  const SplitCounts counts = solve_split_counts(machines, opts);
+  if (counts.pe_high == 0 && counts.pe_low == 0) return {};
+
+  const std::vector<vid_t> out_deg = g.out_degrees();
+  const std::vector<vid_t> tot_deg = g.total_degrees();
+
+  // High-degree threshold at the requested percentile of total degree.
+  std::vector<vid_t> sorted_deg = tot_deg;
+  std::sort(sorted_deg.begin(), sorted_deg.end());
+  const auto idx = static_cast<std::size_t>(
+      opts.high_degree_percentile * static_cast<double>(sorted_deg.size()));
+  const vid_t high_threshold =
+      sorted_deg.empty() ? 0 : sorted_deg[std::min(idx, sorted_deg.size() - 1)];
+
+  // Candidates, ranked deterministically.
+  struct Cand {
+    std::uint64_t edge_index;
+    std::uint64_t score;
+  };
+  std::vector<Cand> high_cands, low_cands;
+  for (std::size_t i = 0; i < g.edges().size(); ++i) {
+    const Edge& e = g.edges()[i];
+    const bool high =
+        tot_deg[e.src] >= high_threshold && tot_deg[e.dst] >= high_threshold;
+    const bool low = out_deg[e.src] <= opts.low_degree_bound &&
+                     tot_deg[e.dst] <= opts.low_degree_bound;
+    if (high) {
+      high_cands.push_back(
+          {i, static_cast<std::uint64_t>(tot_deg[e.src]) * tot_deg[e.dst]});
+    } else if (low) {
+      low_cands.push_back({i, i});
+    }
+  }
+  std::stable_sort(high_cands.begin(), high_cands.end(),
+                   [](const Cand& a, const Cand& b) {
+                     return a.score > b.score;
+                   });
+  if (high_cands.size() > counts.pe_high) high_cands.resize(counts.pe_high);
+  if (low_cands.size() > counts.pe_low) low_cands.resize(counts.pe_low);
+
+  std::vector<std::uint64_t> result;
+  result.reserve(high_cands.size() + low_cands.size());
+  for (const Cand& c : high_cands) result.push_back(c.edge_index);
+  for (const Cand& c : low_cands) result.push_back(c.edge_index);
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace lazygraph::partition

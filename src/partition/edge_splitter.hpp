@@ -1,0 +1,49 @@
+// Edge splitter (paper Section 4.1): selects edges to run in the
+// parallel-edges message transmission mode and plans their dispatch.
+//
+// Selection criteria: an edge connecting two high-degree vertices (helps
+// rapid convergence of local computation) or an edge with a low-out-degree
+// source and low-degree target (saves transmission cost). The number of each
+// kind comes from the paper's sizing equations:
+//   [PE_high * (P - 1) + PE_low * (P / 3)] / P = TEPS * t_extra
+//   PE_low = 550 * PE_high
+// where t_extra is the user's tolerated extra execution time budget.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "partition/partitioner.hpp"
+
+namespace lazygraph::partition {
+
+struct EdgeSplitterOptions {
+  bool enabled = true;
+  /// User budget t_extra (seconds of extra execution time to spend on
+  /// parallel-edge local work). 0 disables splitting.
+  double t_extra = 0.02;
+  /// Machine throughput in traversed edges per second.
+  double teps = 10e6;
+  /// Degree percentile (0..1) above which a vertex counts as high-degree.
+  double high_degree_percentile = 0.99;
+  /// Absolute degree bound below which a vertex counts as low-degree.
+  std::uint32_t low_degree_bound = 3;
+};
+
+struct SplitCounts {
+  std::uint64_t pe_high = 0;
+  std::uint64_t pe_low = 0;
+};
+
+/// Solves the paper's sizing equations for (PE_high, PE_low).
+SplitCounts solve_split_counts(machine_t machines,
+                               const EdgeSplitterOptions& opts);
+
+/// Edge indices (into g.edges()) chosen for parallel-edges mode.
+/// Deterministic given the graph and options.
+std::vector<std::uint64_t> select_split_edges(const Graph& g,
+                                              machine_t machines,
+                                              const EdgeSplitterOptions& opts);
+
+}  // namespace lazygraph::partition

@@ -1,0 +1,233 @@
+#include "partition/partitioner.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace lazygraph::partition {
+
+const char* to_string(CutKind kind) {
+  switch (kind) {
+    case CutKind::kRandom: return "random";
+    case CutKind::kGrid: return "grid";
+    case CutKind::kCoordinated: return "coordinated";
+    case CutKind::kOblivious: return "oblivious";
+    case CutKind::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+namespace {
+
+machine_t hash_to_machine(std::uint64_t key, std::uint64_t seed,
+                          machine_t machines) {
+  return static_cast<machine_t>(mix64(key ^ mix64(seed)) % machines);
+}
+
+Assignment random_cut(const Graph& g, machine_t machines, std::uint64_t seed) {
+  Assignment a;
+  a.edge_machine.resize(g.num_edges());
+  for (std::size_t i = 0; i < g.edges().size(); ++i) {
+    const Edge& e = g.edges()[i];
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(e.src) << 32) | e.dst;
+    a.edge_machine[i] = hash_to_machine(key, seed, machines);
+  }
+  return a;
+}
+
+// 2D grid-cut: machines form an r x c rectangle; vertex v hashes to a shard,
+// and edge (u, v) lands on machine (row(shard(u)), col(shard(v))). Bounds the
+// replication factor of a vertex by r + c.
+Assignment grid_cut(const Graph& g, machine_t machines, std::uint64_t seed) {
+  machine_t rows = static_cast<machine_t>(std::sqrt(machines));
+  while (machines % rows != 0) --rows;
+  const machine_t cols = machines / rows;
+  Assignment a;
+  a.edge_machine.resize(g.num_edges());
+  for (std::size_t i = 0; i < g.edges().size(); ++i) {
+    const Edge& e = g.edges()[i];
+    const machine_t r = hash_to_machine(e.src, seed, rows);
+    const machine_t c = hash_to_machine(e.dst, seed + 17, cols);
+    a.edge_machine[i] = r * cols + c;
+  }
+  return a;
+}
+
+// Shared state of one greedy placement stream: per-vertex replica masks
+// (machines <= 64 so a bitmask suffices) and per-machine loads.
+struct GreedyState {
+  std::vector<std::uint64_t> mask;
+  std::vector<std::uint64_t> load;
+  Rng rng;
+  GreedyState(vid_t vertices, machine_t machines, std::uint64_t seed)
+      : mask(vertices, 0), load(machines, 0), rng(seed) {}
+};
+
+// PowerGraph's greedy placement rules:
+//   1. endpoints share machines  -> least-loaded shared machine
+//   2. both placed, disjoint     -> least-loaded machine of the endpoint
+//                                   with more remaining unplaced edges
+//   3. one endpoint placed       -> least-loaded machine of that endpoint
+//   4. neither placed            -> least-loaded machine overall
+machine_t greedy_place(const Edge& e, machine_t machines, GreedyState& st,
+                       const std::vector<std::uint32_t>& remaining) {
+  auto least_loaded_in = [&](std::uint64_t candidates) {
+    machine_t best = kInvalidMachine;
+    for (machine_t m = 0; m < machines; ++m) {
+      if (!(candidates >> m & 1)) continue;
+      if (best == kInvalidMachine || st.load[m] < st.load[best]) best = m;
+    }
+    return best;
+  };
+  const std::uint64_t all =
+      machines == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << machines) - 1;
+
+  const std::uint64_t ms = st.mask[e.src], md = st.mask[e.dst];
+  machine_t m;
+  if (ms & md) {
+    m = least_loaded_in(ms & md);
+  } else if (ms && md) {
+    m = least_loaded_in(remaining[e.src] >= remaining[e.dst] ? ms : md);
+  } else if (ms || md) {
+    m = least_loaded_in(ms | md);
+  } else {
+    m = least_loaded_in(all);
+    // random tie-break among equally empty machines
+    if (st.load[m] == 0) m = static_cast<machine_t>(st.rng.below(machines));
+  }
+  ++st.load[m];
+  st.mask[e.src] |= std::uint64_t{1} << m;
+  st.mask[e.dst] |= std::uint64_t{1} << m;
+  return m;
+}
+
+// PowerGraph loads the input as P contiguous file chunks consumed by P
+// parallel loaders. Coordinated-cut loaders share the replica table; model
+// that stream by interleaving the P chunks round-robin over one shared
+// GreedyState. A spatially ordered input (road networks) then keeps each
+// chunk's region on its own machine (contiguous partitions, low lambda),
+// while a single global stream would let rule 1 collapse the whole graph
+// onto one machine and a global shuffle would destroy the spatial contiguity
+// real loaders preserve.
+Assignment coordinated_cut(const Graph& g, machine_t machines,
+                           std::uint64_t seed) {
+  Assignment a;
+  a.edge_machine.resize(g.num_edges());
+  std::vector<std::uint32_t> remaining(g.num_vertices(), 0);
+  for (const Edge& e : g.edges()) {
+    ++remaining[e.src];
+    ++remaining[e.dst];
+  }
+  GreedyState st(g.num_vertices(), machines, seed);
+
+  const std::uint64_t chunk =
+      ceil_div<std::uint64_t>(g.num_edges(), machines);
+  for (std::uint64_t s = 0; s < chunk; ++s) {
+    for (machine_t c = 0; c < machines; ++c) {
+      const std::uint64_t i = static_cast<std::uint64_t>(c) * chunk + s;
+      if (i >= g.num_edges()) continue;
+      const Edge& e = g.edges()[i];
+      a.edge_machine[i] = greedy_place(e, machines, st, remaining);
+      --remaining[e.src];
+      --remaining[e.dst];
+    }
+  }
+  return a;
+}
+
+// Oblivious-cut: each loader runs the same greedy over its own chunk with a
+// *private* replica table and load view (no cross-loader coordination), as
+// in PowerGraph's oblivious variant — cheaper to build, higher lambda.
+Assignment oblivious_cut(const Graph& g, machine_t machines,
+                         std::uint64_t seed) {
+  Assignment a;
+  a.edge_machine.resize(g.num_edges());
+  std::vector<std::uint32_t> remaining(g.num_vertices(), 0);
+  for (const Edge& e : g.edges()) {
+    ++remaining[e.src];
+    ++remaining[e.dst];
+  }
+  const std::uint64_t chunk =
+      ceil_div<std::uint64_t>(g.num_edges(), machines);
+  for (machine_t c = 0; c < machines; ++c) {
+    GreedyState st(g.num_vertices(), machines, mix64(seed + c));
+    const std::uint64_t begin = static_cast<std::uint64_t>(c) * chunk;
+    const std::uint64_t end = std::min<std::uint64_t>(begin + chunk,
+                                                      g.num_edges());
+    for (std::uint64_t i = begin; i < end; ++i) {
+      const Edge& e = g.edges()[i];
+      a.edge_machine[i] = greedy_place(e, machines, st, remaining);
+      --remaining[e.src];
+      --remaining[e.dst];
+    }
+  }
+  return a;
+}
+
+// PowerLyra-style hybrid-cut: edges to low-in-degree destinations are
+// co-located with the destination (edge-cut-like); edges into high-degree
+// hubs are spread by source (vertex-cut-like).
+Assignment hybrid_cut(const Graph& g, machine_t machines, std::uint64_t seed,
+                      std::uint32_t threshold) {
+  const std::vector<vid_t> in_deg = g.in_degrees();
+  Assignment a;
+  a.edge_machine.resize(g.num_edges());
+  for (std::size_t i = 0; i < g.edges().size(); ++i) {
+    const Edge& e = g.edges()[i];
+    const vid_t anchor = in_deg[e.dst] <= threshold ? e.dst : e.src;
+    a.edge_machine[i] = hash_to_machine(anchor, seed, machines);
+  }
+  return a;
+}
+
+}  // namespace
+
+Assignment assign_edges(const Graph& g, machine_t machines,
+                        const PartitionOptions& opts) {
+  require(machines >= 1 && machines <= 64,
+          "assign_edges: machines must be in [1, 64]");
+  switch (opts.kind) {
+    case CutKind::kRandom: return random_cut(g, machines, opts.seed);
+    case CutKind::kGrid: return grid_cut(g, machines, opts.seed);
+    case CutKind::kCoordinated:
+      return coordinated_cut(g, machines, opts.seed);
+    case CutKind::kOblivious:
+      return oblivious_cut(g, machines, opts.seed);
+    case CutKind::kHybrid:
+      return hybrid_cut(g, machines, opts.seed, opts.hybrid_threshold);
+  }
+  throw std::invalid_argument("assign_edges: bad kind");
+}
+
+double replication_factor(const Graph& g, const Assignment& a,
+                          machine_t machines) {
+  require(a.edge_machine.size() == g.num_edges(),
+          "replication_factor: assignment size mismatch");
+  (void)machines;
+  std::vector<std::uint64_t> mask(g.num_vertices(), 0);
+  for (std::size_t i = 0; i < g.edges().size(); ++i) {
+    const Edge& e = g.edges()[i];
+    mask[e.src] |= std::uint64_t{1} << a.edge_machine[i];
+    mask[e.dst] |= std::uint64_t{1} << a.edge_machine[i];
+  }
+  std::uint64_t replicas = 0;
+  for (const std::uint64_t m : mask) {
+    replicas += m ? static_cast<std::uint64_t>(std::popcount(m)) : 1;
+  }
+  return g.num_vertices() == 0
+             ? 0.0
+             : static_cast<double>(replicas) /
+                   static_cast<double>(g.num_vertices());
+}
+
+std::vector<std::uint64_t> machine_loads(const Assignment& a,
+                                         machine_t machines) {
+  std::vector<std::uint64_t> load(machines, 0);
+  for (const machine_t m : a.edge_machine) ++load[m];
+  return load;
+}
+
+}  // namespace lazygraph::partition

@@ -1,0 +1,52 @@
+// Vertex-cut graph partitioning: edges are assigned to machines; vertices
+// span (get replicated on) every machine holding one of their edges.
+//
+// Four algorithms, matching Section 4.1 of the paper: random-cut, grid-cut,
+// coordinated(greedy)-cut (PowerGraph's default and the one used in the
+// evaluation), and hybrid-cut (PowerLyra-style degree-differentiated).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lazygraph::partition {
+
+enum class CutKind {
+  kRandom,
+  kGrid,
+  kCoordinated,  // greedy with a shared (cluster-wide) replica table
+  kOblivious,    // greedy with per-loader replica tables (no coordination)
+  kHybrid,
+};
+
+const char* to_string(CutKind kind);
+
+struct PartitionOptions {
+  CutKind kind = CutKind::kCoordinated;
+  std::uint64_t seed = 1;
+  /// hybrid-cut: destinations with in-degree above this are cut by source.
+  std::uint32_t hybrid_threshold = 100;
+};
+
+/// Per-edge machine assignment; edge_machine[i] corresponds to g.edges()[i].
+struct Assignment {
+  std::vector<machine_t> edge_machine;
+};
+
+/// Assigns every edge of `g` to one of `machines` machines.
+Assignment assign_edges(const Graph& g, machine_t machines,
+                        const PartitionOptions& opts);
+
+/// Replication factor lambda: average number of machines spanned per vertex
+/// (vertices with no edges count as 1 replica). This is the quantity the
+/// paper's Table 1 reports and Section 5.3 correlates speedups with.
+double replication_factor(const Graph& g, const Assignment& a,
+                          machine_t machines);
+
+/// Per-machine edge counts (load balance diagnostics).
+std::vector<std::uint64_t> machine_loads(const Assignment& a,
+                                         machine_t machines);
+
+}  // namespace lazygraph::partition

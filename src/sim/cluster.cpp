@@ -1,0 +1,64 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+
+#include "util/common.hpp"
+
+namespace lazygraph::sim {
+
+Cluster::Cluster(const ClusterConfig& cfg)
+    : machines_(cfg.machines), net_(cfg.net, cfg.machines) {
+  require(machines_ >= 1, "Cluster: need at least one machine");
+  if (cfg.threads != 1) pool_ = std::make_unique<ThreadPool>(cfg.threads);
+}
+
+void Cluster::parallel_machines(const std::function<void(machine_t)>& body) {
+  auto wrapper = [&](std::size_t m) { body(static_cast<machine_t>(m)); };
+  if (pool_) {
+    pool_->parallel_for(machines_, wrapper);
+  } else {
+    serial_for(machines_, wrapper);
+  }
+}
+
+void Cluster::charge_compute(
+    std::span<const std::uint64_t> traversals_per_machine) {
+  std::uint64_t max_work = 0, total = 0;
+  for (const std::uint64_t w : traversals_per_machine) {
+    max_work = std::max(max_work, w);
+    total += w;
+  }
+  metrics_.edge_traversals += total;
+  metrics_.compute_seconds += net_.compute_seconds(max_work);
+}
+
+void Cluster::charge_barrier() {
+  ++metrics_.global_syncs;
+  metrics_.barrier_seconds += net_.barrier_seconds(machines_);
+}
+
+void Cluster::charge_exchange(CommMode mode, std::uint64_t bytes,
+                              std::uint64_t messages) {
+  metrics_.network_bytes += bytes;
+  metrics_.network_messages += messages;
+  if (mode == CommMode::kAllToAll) {
+    ++metrics_.a2a_exchanges;
+  } else {
+    ++metrics_.m2m_exchanges;
+  }
+  const double mb = static_cast<double>(bytes) / (1024.0 * 1024.0);
+  metrics_.comm_seconds += net_.comm_seconds(mode, mb);
+}
+
+void Cluster::charge_fine_grained(std::uint64_t bytes,
+                                  std::uint64_t messages) {
+  metrics_.network_bytes += bytes;
+  metrics_.network_messages += messages;
+  const double mb = static_cast<double>(bytes) / (1024.0 * 1024.0) *
+                    net_.config().volume_scale;
+  metrics_.comm_seconds += mb / net_.aggregate_bandwidth_mb_per_s();
+  metrics_.overhead_seconds +=
+      net_.message_overhead_seconds(messages, machines_);
+}
+
+}  // namespace lazygraph::sim

@@ -1,0 +1,68 @@
+// Deterministic in-process cluster: P logical machines executing BSP-staged
+// work, a NetworkModel charging simulated time, and SimMetrics accounting.
+//
+// Engines call parallel_machines() for embarrassingly parallel per-machine
+// work (local computation stages), then the charge_* helpers to account the
+// superstep. Execution is bit-deterministic: machines never share mutable
+// state inside a stage, and cross-machine data moves only between stages.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/netmodel.hpp"
+#include "util/threadpool.hpp"
+
+namespace lazygraph::sim {
+
+struct ClusterConfig {
+  machine_t machines = 8;
+  NetworkModelConfig net = {};
+  /// Worker threads executing machine-local work; 0 = hardware concurrency,
+  /// 1 = fully serial (useful in tests).
+  std::size_t threads = 0;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& cfg);
+
+  machine_t num_machines() const { return machines_; }
+  const NetworkModel& net() const { return net_; }
+  SimMetrics& metrics() { return metrics_; }
+  const SimMetrics& metrics() const { return metrics_; }
+  void reset_metrics() { metrics_ = SimMetrics{}; }
+
+  /// Runs body(m) for every machine m, in parallel across the pool.
+  /// body must only touch machine-m state.
+  void parallel_machines(const std::function<void(machine_t)>& body);
+
+  /// Charges compute time for one stage: max over machines of the given
+  /// per-machine edge-traversal counts, at TEPS. Also accumulates the raw
+  /// traversal counter.
+  void charge_compute(std::span<const std::uint64_t> traversals_per_machine);
+
+  /// Charges one global synchronization (barrier) across all machines.
+  void charge_barrier();
+
+  /// Charges a replica-exchange collective: `bytes` total network bytes in
+  /// `messages` point-to-point messages using `mode`.
+  void charge_exchange(CommMode mode, std::uint64_t bytes,
+                       std::uint64_t messages);
+
+  /// Charges fine-grained eager traffic (async engine): per-message overhead
+  /// plus bandwidth, no barrier.
+  void charge_fine_grained(std::uint64_t bytes, std::uint64_t messages);
+
+ private:
+  machine_t machines_;
+  NetworkModel net_;
+  SimMetrics metrics_;
+  std::unique_ptr<ThreadPool> pool_;  // null when threads == 1
+};
+
+}  // namespace lazygraph::sim

@@ -1,0 +1,21 @@
+#include "sim/metrics.hpp"
+
+#include <iomanip>
+
+namespace lazygraph::sim {
+
+void SimMetrics::print(std::ostream& os, const std::string& label) const {
+  os << std::fixed << std::setprecision(4);
+  os << label << ": sim_time=" << sim_seconds() << "s"
+     << " (compute=" << compute_seconds << " comm=" << comm_seconds
+     << " barrier=" << barrier_seconds << " overhead=" << overhead_seconds
+     << ")\n"
+     << label << ": syncs=" << global_syncs << " supersteps=" << supersteps
+     << " local_subiters=" << local_subiterations << " applies=" << applies
+     << " traversals=" << edge_traversals << "\n"
+     << label << ": msgs=" << network_messages << " traffic="
+     << std::setprecision(3) << network_mb() << "MB a2a=" << a2a_exchanges
+     << " m2m=" << m2m_exchanges << "\n";
+}
+
+}  // namespace lazygraph::sim

@@ -1,0 +1,43 @@
+// Run metrics collected by every engine: the quantities the paper's Figures
+// 9-12 are built from (simulated time, global synchronizations, traffic).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "sim/netmodel.hpp"
+
+namespace lazygraph::sim {
+
+struct SimMetrics {
+  // --- counted exactly ---
+  std::uint64_t global_syncs = 0;       // barrier count (Fig. 10)
+  std::uint64_t network_messages = 0;   // point-to-point messages sent
+  std::uint64_t network_bytes = 0;      // traffic volume (Fig. 11)
+  std::uint64_t supersteps = 0;         // outer iterations of the engine
+  std::uint64_t local_subiterations = 0;  // lazy local-stage sweeps
+  std::uint64_t applies = 0;            // vertex apply invocations
+  std::uint64_t edge_traversals = 0;    // scatter/gather edge work
+  std::uint64_t a2a_exchanges = 0;      // coherency stages using all-to-all
+  std::uint64_t m2m_exchanges = 0;      // ... using mirrors-to-master
+  std::uint64_t vertex_coherency_events = 0;  // LazyVertexAsync per-vertex
+
+  // --- modeled (seconds) ---
+  double compute_seconds = 0.0;
+  double comm_seconds = 0.0;
+  double barrier_seconds = 0.0;
+  double overhead_seconds = 0.0;  // per-message software overhead (async)
+
+  double sim_seconds() const {
+    return compute_seconds + comm_seconds + barrier_seconds +
+           overhead_seconds;
+  }
+  double network_mb() const {
+    return static_cast<double>(network_bytes) / (1024.0 * 1024.0);
+  }
+
+  void print(std::ostream& os, const std::string& label) const;
+};
+
+}  // namespace lazygraph::sim

@@ -1,0 +1,51 @@
+#include "sim/netmodel.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace lazygraph::sim {
+
+double NetworkModel::all_to_all_seconds(double mb) const {
+  if (mb <= 0.0) return 0.0;
+  mb *= cfg_.volume_scale;
+  const double fitted = cfg_.a2a_per_mb * mb + cfg_.a2a_base;
+  return std::max(fitted, mb / aggregate_bandwidth_mb_per_s());
+}
+
+double NetworkModel::mirrors_to_master_seconds(double mb) const {
+  if (mb <= 0.0) return 0.0;
+  mb *= cfg_.volume_scale;
+  // Vertex of the (downward) parabola: left of it the paper's fit applies;
+  // right of it we continue with the bandwidth floor so time stays monotone.
+  const double vertex =
+      cfg_.m2m_quad < 0.0 ? -cfg_.m2m_per_mb / (2.0 * cfg_.m2m_quad) : mb;
+  const double x = std::min(mb, vertex);
+  const double fitted = cfg_.m2m_quad * x * x + cfg_.m2m_per_mb * x +
+                        cfg_.m2m_base;
+  return std::max(fitted, mb / aggregate_bandwidth_mb_per_s());
+}
+
+double NetworkModel::comm_seconds(CommMode mode, double mb) const {
+  return mode == CommMode::kAllToAll ? all_to_all_seconds(mb)
+                                     : mirrors_to_master_seconds(mb);
+}
+
+double NetworkModel::barrier_seconds(machine_t machines) const {
+  if (machines <= 1) return 0.0;
+  const auto hops = std::bit_width(static_cast<std::uint32_t>(machines - 1));
+  return cfg_.barrier_per_hop * static_cast<double>(hops);
+}
+
+double NetworkModel::compute_seconds(std::uint64_t traversals) const {
+  return static_cast<double>(traversals) / cfg_.teps;
+}
+
+double NetworkModel::message_overhead_seconds(std::uint64_t messages,
+                                              machine_t machines) const {
+  if (machines == 0) machines = 1;
+  return cfg_.per_message_overhead * cfg_.volume_scale *
+         static_cast<double>(messages) / static_cast<double>(machines);
+}
+
+}  // namespace lazygraph::sim

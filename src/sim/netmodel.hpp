@@ -1,0 +1,91 @@
+// Cost model of the paper's testbed: 48 nodes, 8 cores each, 1 GigE.
+//
+// Communication times use the curves the paper fitted on its own cluster
+// (Section 4.2.2 / Fig. 8b):
+//   t_a2a(comm)  = 0.00029 * comm + 0.044
+//   t_m2m(comm)  = -6e-7 * comm^2 + 0.00045 * comm + 0.003
+// with comm in megabytes and t in seconds. The quadratic is only valid left
+// of its vertex; beyond it we extend linearly at the bandwidth floor so large
+// volumes never get cheaper with size.
+//
+// Compute is charged as traversed-edges / TEPS per machine (the paper's own
+// machine-performance unit from the edge-splitter equations).
+#pragma once
+
+#include <cstdint>
+
+#include "util/common.hpp"
+
+namespace lazygraph::sim {
+
+/// Which replica-exchange communication pattern a coherency stage used.
+enum class CommMode { kAllToAll, kMirrorsToMaster };
+
+struct NetworkModelConfig {
+  // All-to-all fit: t = a2a_per_mb * MB + a2a_base.
+  double a2a_per_mb = 0.00029;
+  double a2a_base = 0.044;
+  // Mirrors-to-master fit: t = m2m_quad * MB^2 + m2m_per_mb * MB + m2m_base.
+  // The paper prints a base of 0.003, but that omits the pattern's second
+  // sequential phase (master -> mirrors broadcast, one more collective
+  // latency ~ the a2a base); without it the printed fits contradict the
+  // paper's own claim that all-to-all wins for small traffic. We use
+  // 0.044 + 0.003 so that small exchanges favour all-to-all (single phase)
+  // and large exchanges favour mirrors-to-master (smaller wire volume),
+  // exactly the behaviour Section 4.2.2 describes.
+  double m2m_quad = -6e-7;
+  double m2m_per_mb = 0.00045;
+  double m2m_base = 0.047;
+  // Barrier latency per global synchronization (tree barrier over P nodes).
+  double barrier_per_hop = 0.0005;
+  // Per-message software overhead (dominates eager/async fine-grained sends).
+  double per_message_overhead = 8e-6;
+  // NIC bandwidth per machine, MB/s (1 GigE). Collective exchanges move the
+  // cluster-total volume through all NICs in parallel, so the bandwidth
+  // floor uses machines * this value.
+  double bandwidth_mb_per_s = 117.0;
+  // Traversed edges per second per machine (compute throughput).
+  double teps = 10e6;
+  // Workload scale factor: each simulated vertex/edge/message stands for
+  // `volume_scale` real ones. Applied to communication *time* (volume on the
+  // wire) and per-message overhead; raw byte/message counters stay at the
+  // analogue scale so normalized figures are unaffected. Pair with a
+  // proportionally reduced `teps` to simulate a full-size workload on a
+  // scaled-down graph.
+  double volume_scale = 1.0;
+};
+
+class NetworkModel {
+ public:
+  NetworkModel() = default;
+  explicit NetworkModel(NetworkModelConfig cfg, machine_t machines = 1)
+      : cfg_(cfg), machines_(machines < 1 ? 1 : machines) {}
+
+  const NetworkModelConfig& config() const { return cfg_; }
+  /// Cluster-aggregate bandwidth available to a collective exchange.
+  double aggregate_bandwidth_mb_per_s() const {
+    return cfg_.bandwidth_mb_per_s * static_cast<double>(machines_);
+  }
+
+  /// Seconds to exchange `mb` megabytes with the given collective pattern.
+  double comm_seconds(CommMode mode, double mb) const;
+  double all_to_all_seconds(double mb) const;
+  double mirrors_to_master_seconds(double mb) const;
+
+  /// Barrier latency for a P-machine global synchronization.
+  double barrier_seconds(machine_t machines) const;
+
+  /// Seconds of compute for `traversals` edge traversals on one machine.
+  double compute_seconds(std::uint64_t traversals) const;
+
+  /// Seconds of per-message software overhead for n fine-grained messages
+  /// spread over P machines (pipelined across NICs).
+  double message_overhead_seconds(std::uint64_t messages,
+                                  machine_t machines) const;
+
+ private:
+  NetworkModelConfig cfg_;
+  machine_t machines_ = 1;
+};
+
+}  // namespace lazygraph::sim

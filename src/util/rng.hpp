@@ -1,0 +1,79 @@
+// Deterministic, seedable random number generation.
+//
+// The whole reproduction is deterministic: every generator / partitioner /
+// engine takes an explicit seed. We use splitmix64 to derive streams and
+// xoshiro256** as the workhorse generator (fast, high quality, header-only).
+#pragma once
+
+#include <cstdint>
+
+namespace lazygraph {
+
+/// splitmix64 step; also useful as a cheap hash for ids.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mixing hash (splitmix64 finalizer) for hashing vertex ids.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  constexpr std::uint64_t operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  constexpr std::uint64_t below(std::uint64_t n) { return (*this)() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(
+                    static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Derive an independent child stream (for per-thread/per-machine use).
+  constexpr Rng fork(std::uint64_t stream_id) {
+    return Rng(mix64((*this)() ^ mix64(stream_id)));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace lazygraph

@@ -1,0 +1,72 @@
+// Small statistics helpers used by graph analysis and the benchmarks.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lazygraph {
+
+/// Streaming mean / min / max / variance accumulator (Welford).
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    sum_ += x;
+  }
+
+  std::size_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0, m2_ = 0.0, sum_ = 0.0;
+  double min_ = 0.0, max_ = 0.0;
+};
+
+/// Fixed-bucket histogram over [0, max); values beyond land in the last bucket.
+class Histogram {
+ public:
+  Histogram(double max_value, std::size_t buckets)
+      : max_(max_value), counts_(buckets, 0) {}
+
+  void add(double x) {
+    auto idx = static_cast<std::size_t>(
+        std::clamp(x / max_ * static_cast<double>(counts_.size()), 0.0,
+                   static_cast<double>(counts_.size() - 1)));
+    ++counts_[idx];
+  }
+
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+ private:
+  double max_;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// p-th percentile (0..100) of a copy of `v`. Empty input returns 0.
+inline double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+}  // namespace lazygraph

@@ -1,0 +1,57 @@
+#include "util/table.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/common.hpp"
+
+namespace lazygraph {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  require(!header_.empty(), "Table: header must be non-empty");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  require(row.size() == header_.size(), "Table: row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2) << r[c];
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << std::string(width[c] + 2, '-');
+  os << '\n';
+  for (const auto& r : rows_) print_row(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) os << ',';
+      os << r[c];
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  for (const auto& r : rows_) print_row(r);
+}
+
+}  // namespace lazygraph

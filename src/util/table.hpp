@@ -1,0 +1,42 @@
+// Plain-text table / CSV reporter used by the benchmark harness to print the
+// rows and series of each reproduced paper table/figure.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lazygraph {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  template <std::integral T>
+  static std::string num(T v) {
+    return std::to_string(v);
+  }
+
+  std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+  const std::vector<std::string>& header() const { return header_; }
+
+  /// Pretty prints with aligned columns.
+  void print(std::ostream& os) const;
+  /// Comma-separated output (no quoting; values must not contain commas).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lazygraph

@@ -1,0 +1,48 @@
+// A small fixed-size thread pool plus a deterministic parallel_for.
+//
+// The cluster simulator uses this to run independent per-machine work in
+// parallel. Work items never share mutable state (BSP staging), so the pool
+// only needs fork/join semantics; results are merged in machine order by the
+// caller, keeping every run bit-identical regardless of thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lazygraph {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Runs body(i) for i in [0, n), blocking until all complete.
+  /// Exceptions from body are rethrown (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+/// Serial fallback with the same signature; used when determinism of
+/// *execution order* (not just results) is wanted, e.g. in tests.
+void serial_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+}  // namespace lazygraph

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference.hpp"
+
+namespace lazygraph::analysis {
+namespace {
+
+TEST(DegreeStatsTest, CycleIsRegular) {
+  const auto s = degree_stats(gen::cycle(100));
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_EQ(s.max, 2u);
+  EXPECT_EQ(s.median, 2u);
+  EXPECT_NEAR(s.top1_edge_share, 0.01, 0.005);
+}
+
+TEST(DegreeStatsTest, StarIsHubDominated) {
+  const auto s = degree_stats(gen::star(999, false));
+  EXPECT_EQ(s.max, 999u);
+  EXPECT_EQ(s.median, 1u);
+  EXPECT_NEAR(s.top1_edge_share, 0.5, 0.01);  // hub holds half the endpoints
+}
+
+TEST(DegreeStatsTest, EmptyGraph) {
+  const auto s = degree_stats(Graph{});
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(PowerlawAlpha, RecoversGeneratorExponentRoughly) {
+  const Graph g = gen::chung_lu(50000, 400000, 2.2, 7);
+  const double alpha = powerlaw_alpha(g);
+  EXPECT_GT(alpha, 1.6);
+  EXPECT_LT(alpha, 3.2);
+}
+
+TEST(PowerlawAlpha, SkewOrdering) {
+  const double heavy = powerlaw_alpha(gen::chung_lu(20000, 160000, 1.9, 3));
+  const double light = powerlaw_alpha(gen::chung_lu(20000, 160000, 3.0, 3));
+  EXPECT_LT(heavy, light);  // smaller alpha = heavier tail
+}
+
+TEST(PowerlawAlpha, DegenerateInputsReturnZero) {
+  EXPECT_DOUBLE_EQ(powerlaw_alpha(gen::path(5)), 0.0);  // < 10 vertices
+}
+
+TEST(ApproximateDiameter, ExactOnPath) {
+  EXPECT_EQ(approximate_diameter(gen::path(50)), 49u);
+}
+
+TEST(ApproximateDiameter, GridDiameter) {
+  // 10x10 grid: true diameter 18 (Manhattan corner-to-corner).
+  EXPECT_EQ(approximate_diameter(gen::grid(10, 10)), 18u);
+}
+
+TEST(ApproximateDiameter, RoadAnalogueHasLongDiameter) {
+  const Graph road = datasets::make(datasets::spec_by_name("roadusa-like"),
+                                    0.05);
+  const Graph social =
+      datasets::make(datasets::spec_by_name("twitter-like"), 0.05);
+  EXPECT_GT(approximate_diameter(road), 10 * approximate_diameter(social));
+}
+
+TEST(Degeneracy, CompleteGraph) {
+  const auto r = degeneracy(gen::complete(8));
+  EXPECT_EQ(r.degeneracy, 7u);
+  for (const auto c : r.core_number) EXPECT_EQ(c, 7u);
+}
+
+TEST(Degeneracy, TreeIsOne) {
+  const auto r = degeneracy(gen::path(100));
+  EXPECT_EQ(r.degeneracy, 1u);
+}
+
+TEST(Degeneracy, CoreNumbersConsistentWithKcoreReference) {
+  const Graph g = gen::rmat(9, 5, 0.5, 0.22, 0.22, 17);
+  const auto r = degeneracy(g);
+  // core_number[v] >= k  <=>  v survives k-core peeling.
+  for (const std::uint32_t k : {2u, 4u, r.degeneracy}) {
+    const auto alive = reference::kcore(g, k);
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(r.core_number[v] >= k, alive[v])
+          << "vertex " << v << " k=" << k;
+    }
+  }
+}
+
+TEST(Degeneracy, CliqueWithTail) {
+  // 5-clique + pendant chain: degeneracy 4, chain core numbers 1.
+  std::vector<Edge> edges;
+  for (vid_t u = 0; u < 5; ++u)
+    for (vid_t v = u + 1; v < 5; ++v) edges.push_back({u, v, 1});
+  edges.push_back({4, 5, 1});
+  edges.push_back({5, 6, 1});
+  const auto r = degeneracy(Graph(7, std::move(edges)));
+  EXPECT_EQ(r.degeneracy, 4u);
+  EXPECT_EQ(r.core_number[6], 1u);
+  EXPECT_EQ(r.core_number[0], 4u);
+}
+
+}  // namespace
+}  // namespace lazygraph::analysis

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "engine/comm_mode.hpp"
+
+namespace lazygraph::engine {
+namespace {
+
+TEST(CommMode, ForcedPoliciesIgnoreEstimates) {
+  const sim::NetworkModel net({}, 48);
+  const ExchangeEstimate est{.a2a_bytes = 1, .m2m_bytes = 1 << 30};
+  EXPECT_EQ(select_comm_mode(CommModePolicy::kForceAllToAll, net, est),
+            sim::CommMode::kAllToAll);
+  EXPECT_EQ(select_comm_mode(CommModePolicy::kForceMirrorsToMaster, net, est),
+            sim::CommMode::kMirrorsToMaster);
+}
+
+TEST(CommMode, AdaptivePicksAllToAllForTinyExchanges) {
+  const sim::NetworkModel net({}, 48);
+  // Equal small volumes: a2a's single-phase base wins.
+  const ExchangeEstimate est{.a2a_bytes = 1024, .m2m_bytes = 1024};
+  EXPECT_EQ(select_comm_mode(CommModePolicy::kAdaptive, net, est),
+            sim::CommMode::kAllToAll);
+}
+
+TEST(CommMode, AdaptivePicksM2mWhenVolumeGapLarge) {
+  const sim::NetworkModel net({}, 48);
+  // Heavy replication: a2a would ship 4x the bytes.
+  const std::uint64_t mb = 1024 * 1024;
+  const ExchangeEstimate est{.a2a_bytes = 200 * mb, .m2m_bytes = 50 * mb};
+  EXPECT_EQ(select_comm_mode(CommModePolicy::kAdaptive, net, est),
+            sim::CommMode::kMirrorsToMaster);
+}
+
+TEST(CommMode, AdaptiveConsistentWithModelCurves) {
+  const sim::NetworkModel net({}, 48);
+  for (const std::uint64_t a2a_mb : {1, 10, 100, 500}) {
+    for (const std::uint64_t m2m_mb : {1, 10, 100, 500}) {
+      const ExchangeEstimate est{a2a_mb * 1024 * 1024, m2m_mb * 1024 * 1024};
+      const auto mode = select_comm_mode(CommModePolicy::kAdaptive, net, est);
+      const double ta = net.all_to_all_seconds(static_cast<double>(a2a_mb));
+      const double tm =
+          net.mirrors_to_master_seconds(static_cast<double>(m2m_mb));
+      EXPECT_EQ(mode, ta <= tm ? sim::CommMode::kAllToAll
+                               : sim::CommMode::kMirrorsToMaster);
+    }
+  }
+}
+
+TEST(CommMode, PolicyNames) {
+  EXPECT_STREQ(to_string(CommModePolicy::kAdaptive), "adaptive");
+  EXPECT_STREQ(to_string(CommModePolicy::kForceAllToAll), "all-to-all");
+  EXPECT_STREQ(to_string(CommModePolicy::kForceMirrorsToMaster),
+               "mirrors-to-master");
+}
+
+}  // namespace
+}  // namespace lazygraph::engine

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/datasets.hpp"
+#include "graph/reference.hpp"
+#include "partition/partitioner.hpp"
+
+namespace lazygraph {
+namespace {
+
+TEST(Datasets, EightTable1Rows) {
+  const auto& specs = datasets::table1_specs();
+  ASSERT_EQ(specs.size(), 8u);
+  EXPECT_EQ(specs[0].paper_name, "UK-2005");
+  EXPECT_EQ(specs[4].paper_name, "twitter");
+}
+
+TEST(Datasets, LookupByName) {
+  EXPECT_EQ(datasets::spec_by_name("twitter-like").family,
+            datasets::Family::kSocial);
+  EXPECT_THROW(datasets::spec_by_name("nope"), std::invalid_argument);
+}
+
+TEST(Datasets, PaperMetadataPresent) {
+  for (const auto& spec : datasets::table1_specs()) {
+    EXPECT_GT(spec.paper_ev_ratio, 0.0) << spec.name;
+    EXPECT_GT(spec.paper_lambda, 1.0) << spec.name;
+    EXPECT_GT(spec.paper_vertices, 0.0) << spec.name;
+    EXPECT_GT(spec.paper_edges, 0.0) << spec.name;
+  }
+}
+
+TEST(Datasets, Deterministic) {
+  const auto& spec = datasets::spec_by_name("youtube-like");
+  const Graph a = datasets::make(spec, 0.05);
+  const Graph b = datasets::make(spec, 0.05);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(Datasets, ScaleShrinksGraphs) {
+  const auto& spec = datasets::spec_by_name("webgoogle-like");
+  const Graph small = datasets::make(spec, 0.05);
+  const Graph big = datasets::make(spec, 0.2);
+  EXPECT_LT(small.num_vertices(), big.num_vertices());
+}
+
+TEST(Datasets, RejectsBadScale) {
+  const auto& spec = datasets::spec_by_name("webgoogle-like");
+  EXPECT_THROW(datasets::make(spec, 0.0), std::invalid_argument);
+  EXPECT_THROW(datasets::make(spec, 1.5), std::invalid_argument);
+}
+
+// The property the paper's evaluation depends on: each analogue's E/V ratio
+// tracks Table 1 (within tolerance) at the default scale.
+class DatasetEvRatio : public ::testing::TestWithParam<int> {};
+
+TEST_P(DatasetEvRatio, MatchesPaperWithinTolerance) {
+  const auto& spec = datasets::table1_specs()[GetParam()];
+  const Graph g = datasets::make(spec, 0.25);
+  // Roads are structural (backbone + extras minus dedup); allow more slack.
+  const double slack = spec.family == datasets::Family::kRoad ? 0.25 : 0.12;
+  EXPECT_NEAR(g.edge_vertex_ratio() / spec.paper_ev_ratio, 1.0, slack)
+      << spec.name << ": E/V=" << g.edge_vertex_ratio() << " vs paper "
+      << spec.paper_ev_ratio;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGraphs, DatasetEvRatio, ::testing::Range(0, 8),
+                         [](const auto& info) {
+                           return datasets::table1_specs()[info.param].name
+                               .substr(0,
+                                       datasets::table1_specs()[info.param]
+                                           .name.find('-'));
+                         });
+
+// Family-level lambda ordering under coordinated cut (Section 5.3): roads
+// lowest, enwiki highest, twitter above the web graphs.
+TEST(Datasets, LambdaOrderingMatchesPaperFamilies) {
+  const machine_t p = 48;
+  std::map<std::string, double> lambda;
+  for (const auto& spec : datasets::table1_specs()) {
+    const Graph g = datasets::make(spec, 0.25);
+    const auto a = partition::assign_edges(
+        g, p, {partition::CutKind::kCoordinated, 2018});
+    lambda[spec.name] = partition::replication_factor(g, a, p);
+  }
+  EXPECT_LT(lambda["roadusa-like"], lambda["webgoogle-like"]);
+  EXPECT_LT(lambda["roadnetca-like"], lambda["youtube-like"]);
+  EXPECT_LT(lambda["webgoogle-like"], lambda["livejournal-like"]);
+  EXPECT_LT(lambda["uk2005-like"], lambda["livejournal-like"]);
+  EXPECT_LT(lambda["livejournal-like"], lambda["twitter-like"]);
+  EXPECT_LT(lambda["twitter-like"], lambda["enwiki-like"]);
+}
+
+TEST(Datasets, RoadAnaloguesAreConnected) {
+  for (const auto* name : {"roadusa-like", "roadnetca-like"}) {
+    const Graph g = datasets::make(datasets::spec_by_name(name), 0.05);
+    const auto cc = reference::connected_components(g);
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(cc[v], 0u) << name << " disconnected at " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lazygraph

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "partition/edge_splitter.hpp"
+
+namespace lazygraph::partition {
+namespace {
+
+TEST(SplitCounts, SolvesPaperEquations) {
+  // [PE_high*(P-1) + PE_low*(P/3)] / P = TEPS * t_extra, PE_low = 550*PE_high
+  EdgeSplitterOptions opts;
+  opts.teps = 10e6;
+  opts.t_extra = 0.02;
+  const machine_t p = 48;
+  const SplitCounts c = solve_split_counts(p, opts);
+  // PE_low = 550 * PE_high up to independent rounding of the two counts.
+  EXPECT_NEAR(static_cast<double>(c.pe_low),
+              550.0 * static_cast<double>(c.pe_high),
+              550.0);
+  const double lhs = (static_cast<double>(c.pe_high) * (p - 1) +
+                      static_cast<double>(c.pe_low) * (p / 3.0)) /
+                     p;
+  EXPECT_NEAR(lhs, opts.teps * opts.t_extra, opts.teps * opts.t_extra * 0.01);
+}
+
+TEST(SplitCounts, DisabledYieldsZero) {
+  EdgeSplitterOptions opts;
+  opts.enabled = false;
+  EXPECT_EQ(solve_split_counts(48, opts).pe_high, 0u);
+  opts.enabled = true;
+  opts.t_extra = 0.0;
+  EXPECT_EQ(solve_split_counts(48, opts).pe_high, 0u);
+  EXPECT_EQ(solve_split_counts(1, opts).pe_high, 0u);  // single machine
+}
+
+TEST(SplitCounts, ScalesWithBudget) {
+  EdgeSplitterOptions small, big;
+  small.t_extra = 0.01;
+  big.t_extra = 0.1;
+  EXPECT_LT(solve_split_counts(48, small).pe_high,
+            solve_split_counts(48, big).pe_high);
+}
+
+TEST(SelectSplitEdges, DeterministicAndSorted) {
+  const Graph g = gen::rmat(10, 8, 0.57, 0.19, 0.19, 3);
+  const auto a = select_split_edges(g, 48, {});
+  const auto b = select_split_edges(g, 48, {});
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+}
+
+TEST(SelectSplitEdges, RespectsCountBudget) {
+  const Graph g = gen::rmat(10, 8, 0.57, 0.19, 0.19, 3);
+  EdgeSplitterOptions opts;
+  const SplitCounts counts = solve_split_counts(48, opts);
+  const auto chosen = select_split_edges(g, 48, opts);
+  EXPECT_LE(chosen.size(), counts.pe_high + counts.pe_low);
+}
+
+TEST(SelectSplitEdges, HighEdgesConnectHighDegreeVertices) {
+  // Star: only hub-adjacent edges exist; the high-degree criterion selects
+  // edges whose BOTH endpoints are high-degree, of which a star has none
+  // except under a tiny percentile.
+  const Graph g = gen::rmat(10, 8, 0.57, 0.19, 0.19, 3);
+  EdgeSplitterOptions opts;
+  opts.low_degree_bound = 0;  // disable the low criterion
+  const auto chosen = select_split_edges(g, 48, opts);
+  const auto deg = g.total_degrees();
+  std::vector<vid_t> sorted = deg;
+  std::sort(sorted.begin(), sorted.end());
+  const vid_t threshold =
+      sorted[static_cast<std::size_t>(0.99 * static_cast<double>(sorted.size()))];
+  for (const auto i : chosen) {
+    const Edge& e = g.edges()[i];
+    EXPECT_GE(deg[e.src], threshold);
+    EXPECT_GE(deg[e.dst], threshold);
+  }
+}
+
+TEST(SelectSplitEdges, LowEdgesHaveLowDegreeEndpoints) {
+  const Graph g = gen::road_lattice(40, 40, 0.2, 7);
+  EdgeSplitterOptions opts;
+  opts.high_degree_percentile = 1.0;  // effectively disable high criterion
+  opts.low_degree_bound = 3;
+  const auto chosen = select_split_edges(g, 48, opts);
+  const auto out = g.out_degrees();
+  const auto tot = g.total_degrees();
+  for (const auto i : chosen) {
+    const Edge& e = g.edges()[i];
+    const bool low = out[e.src] <= 3 && tot[e.dst] <= 3;
+    const bool high = tot[e.src] >= tot.back();  // percentile 1.0 edge case
+    EXPECT_TRUE(low || high);
+  }
+}
+
+TEST(SelectSplitEdges, EmptyWhenBudgetZero) {
+  const Graph g = gen::erdos_renyi(100, 500, 1);
+  EdgeSplitterOptions opts;
+  opts.t_extra = 0.0;
+  EXPECT_TRUE(select_split_edges(g, 48, opts).empty());
+}
+
+}  // namespace
+}  // namespace lazygraph::partition

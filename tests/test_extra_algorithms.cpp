@@ -1,0 +1,120 @@
+// Widest-path and linear-diffusion (Gaussian-BP-style) programs: references
+// plus the engine matrix.
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace lazygraph {
+namespace {
+
+using engine::EngineKind;
+using testsupport::build_dgraph;
+using testsupport::make_cluster;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(RefWidestPath, BottleneckOnPath) {
+  const Graph g(4, {{0, 1, 5.0f}, {1, 2, 3.0f}, {2, 3, 8.0f}});
+  const auto cap = reference::widest_path(g, 0);
+  EXPECT_DOUBLE_EQ(cap[0], kInf);
+  EXPECT_DOUBLE_EQ(cap[1], 5.0);
+  EXPECT_DOUBLE_EQ(cap[2], 3.0);
+  EXPECT_DOUBLE_EQ(cap[3], 3.0);
+}
+
+TEST(RefWidestPath, PicksWiderDetour) {
+  // 0->1 capacity 2; 0->2->1 capacity min(9, 7) = 7.
+  const Graph g(3, {{0, 1, 2.0f}, {0, 2, 9.0f}, {2, 1, 7.0f}});
+  const auto cap = reference::widest_path(g, 0);
+  EXPECT_DOUBLE_EQ(cap[1], 7.0);
+}
+
+TEST(RefWidestPath, UnreachableIsZero) {
+  const Graph g = gen::path(3);
+  const auto cap = reference::widest_path(g, 2);
+  EXPECT_DOUBLE_EQ(cap[0], 0.0);
+  EXPECT_DOUBLE_EQ(cap[1], 0.0);
+}
+
+TEST(RefLinearDiffusion, ClosedFormOnCycle) {
+  // Uniform bias b on a cycle: x = b / (1 - alpha).
+  const Graph g = gen::cycle(8);
+  const std::vector<double> bias(8, 0.3);
+  const auto x = reference::linear_diffusion(g, bias, 0.5);
+  for (const double v : x) EXPECT_NEAR(v, 0.6, 1e-9);
+}
+
+TEST(RefLinearDiffusion, SeedDecaysAlongPath) {
+  const Graph g = gen::path(5);
+  std::vector<double> bias(5, 0.0);
+  bias[0] = 1.0;
+  const auto x = reference::linear_diffusion(g, bias, 0.5);
+  for (vid_t v = 0; v < 5; ++v) EXPECT_NEAR(x[v], std::pow(0.5, v), 1e-9);
+}
+
+TEST(RefLinearDiffusion, RejectsBadAlpha) {
+  const Graph g = gen::cycle(4);
+  EXPECT_THROW(reference::linear_diffusion(g, {1, 1, 1, 1}, 1.0),
+               std::invalid_argument);
+}
+
+class ExtraAlgoEngines : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(ExtraAlgoEngines, WidestPathExact) {
+  const Graph g = gen::erdos_renyi(250, 1500, 71, {1.0f, 20.0f});
+  const auto dg = build_dgraph(g, 8);
+  auto cl = make_cluster(8);
+  const auto r = engine::run_engine(GetParam(), dg,
+                                    algos::WidestPath{.source = 0}, cl,
+                                    {.graph_ev_ratio = g.edge_vertex_ratio()});
+  ASSERT_TRUE(r.converged);
+  const auto expect = reference::widest_path(g, 0);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(r.data[v].capacity, expect[v]) << "vertex " << v;
+  }
+}
+
+TEST_P(ExtraAlgoEngines, LinearDiffusionWithinTolerance) {
+  const Graph g = gen::erdos_renyi(150, 900, 73);
+  const auto dg = build_dgraph(g, 6);
+  auto cl = make_cluster(6);
+  const algos::LinearDiffusion prog{
+      .alpha = 0.6, .base_bias = 0.1, .seed = 7, .seed_bias = 5.0,
+      .tol = 1e-8};
+  const auto r = engine::run_engine(GetParam(), dg, prog, cl,
+                                    {.graph_ev_ratio = g.edge_vertex_ratio()});
+  ASSERT_TRUE(r.converged);
+  std::vector<double> bias(g.num_vertices(), 0.1);
+  bias[7] += 5.0;
+  const auto expect = reference::linear_diffusion(g, bias, 0.6);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(r.data[v].value, expect[v], 1e-4) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, ExtraAlgoEngines,
+                         ::testing::Values(EngineKind::kSync,
+                                           EngineKind::kAsync,
+                                           EngineKind::kLazyBlock,
+                                           EngineKind::kLazyVertex),
+                         [](const auto& info) {
+                           std::string s = to_string(info.param);
+                           std::replace(s.begin(), s.end(), '-', '_');
+                           return s;
+                         });
+
+TEST(ExtraAlgos, DiffusionLazyBeatsSyncOnSyncs) {
+  const Graph g =
+      datasets::make(datasets::spec_by_name("roadnetca-like"), 0.15);
+  const auto dg = build_dgraph(g, 16);
+  auto cl_sync = make_cluster(16);
+  auto cl_lazy = make_cluster(16);
+  const algos::LinearDiffusion prog{.alpha = 0.7, .seed = 1, .seed_bias = 10.0};
+  (void)engine::run_engine(EngineKind::kSync, dg, prog, cl_sync);
+  (void)engine::run_engine(EngineKind::kLazyBlock, dg, prog, cl_lazy,
+                           {.graph_ev_ratio = g.edge_vertex_ratio()});
+  EXPECT_LT(cl_lazy.metrics().global_syncs, cl_sync.metrics().global_syncs);
+}
+
+}  // namespace
+}  // namespace lazygraph

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/reference.hpp"
+
+namespace lazygraph {
+namespace {
+
+// Undirected connectivity check via BFS on the symmetrized view.
+bool connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  const Graph s = g.symmetrized();
+  const auto dist = reference::bfs(s, 0);
+  for (vid_t v = 0; v < s.num_vertices(); ++v) {
+    if (dist[v] == std::numeric_limits<std::uint32_t>::max()) return false;
+  }
+  return true;
+}
+
+TEST(ErdosRenyi, SizeAndSimplicity) {
+  const Graph g = gen::erdos_renyi(500, 2000, 1);
+  EXPECT_EQ(g.num_vertices(), 500u);
+  EXPECT_LE(g.num_edges(), 2000u);
+  EXPECT_GE(g.num_edges(), 1900u);  // few duplicates at this density
+  for (const Edge& e : g.edges()) EXPECT_NE(e.src, e.dst);
+}
+
+TEST(ErdosRenyi, DeterministicPerSeed) {
+  const Graph a = gen::erdos_renyi(100, 400, 5);
+  const Graph b = gen::erdos_renyi(100, 400, 5);
+  EXPECT_EQ(a.edges(), b.edges());
+  const Graph c = gen::erdos_renyi(100, 400, 6);
+  EXPECT_NE(a.edges(), c.edges());
+}
+
+TEST(Rmat, SkewedDegreesWithSkewedParams) {
+  const Graph g = gen::rmat(10, 8, 0.57, 0.19, 0.19, 3);
+  const auto deg = g.out_degrees();
+  vid_t max_deg = 0;
+  for (const auto d : deg) max_deg = std::max(max_deg, d);
+  const double avg = g.edge_vertex_ratio();
+  EXPECT_GT(max_deg, 10 * avg) << "rmat should produce heavy-tailed degrees";
+}
+
+TEST(Rmat, UniformParamsApproachErdosRenyi) {
+  const Graph g = gen::rmat(10, 8, 0.25, 0.25, 0.25, 3);
+  const auto deg = g.out_degrees();
+  vid_t max_deg = 0;
+  for (const auto d : deg) max_deg = std::max(max_deg, d);
+  EXPECT_LT(max_deg, 40u);  // near-uniform: no big hubs
+}
+
+TEST(Rmat, RejectsBadParameters) {
+  EXPECT_THROW(gen::rmat(0, 8, 0.5, 0.2, 0.2, 1), std::invalid_argument);
+  EXPECT_THROW(gen::rmat(8, 8, 0.6, 0.3, 0.3, 1), std::invalid_argument);
+}
+
+TEST(ChungLu, HitsRequestedEdgeCount) {
+  const Graph g = gen::chung_lu(1000, 8000, 2.2, 9);
+  EXPECT_EQ(g.num_edges(), 8000u);  // online dedup retries to exact m
+}
+
+TEST(ChungLu, AlphaControlsSkew) {
+  auto max_degree = [](const Graph& g) {
+    vid_t m = 0;
+    for (const auto d : g.out_degrees()) m = std::max(m, d);
+    return m;
+  };
+  const vid_t heavy = max_degree(gen::chung_lu(2000, 16000, 1.9, 4));
+  const vid_t light = max_degree(gen::chung_lu(2000, 16000, 3.5, 4));
+  EXPECT_GT(heavy, light);
+}
+
+TEST(ChungLu, BlockLocalityKeepsEdgesInBlocks) {
+  const Graph g = gen::chung_lu(4096, 20000, 2.3, 7, {},
+                                {.p_local = 1.0, .block = 64});
+  for (const Edge& e : g.edges()) {
+    EXPECT_EQ(e.src / 64, e.dst / 64);
+  }
+}
+
+TEST(RoadLattice, ConnectedAndSparse) {
+  const Graph g = gen::road_lattice(40, 40, 0.3, 11);
+  EXPECT_TRUE(connected(g));
+  EXPECT_NEAR(g.edge_vertex_ratio(), 2.0 + 2.0 * 0.3, 0.35);
+}
+
+TEST(RoadLattice, BackboneOnlyIsAPath) {
+  const Graph g = gen::road_lattice(10, 10, 0.0, 1);
+  // Serpentine Hamiltonian path: n-1 undirected edges = 2(n-1) arcs.
+  EXPECT_EQ(g.num_edges(), 2u * (100 - 1));
+  EXPECT_TRUE(connected(g));
+}
+
+TEST(RoadLattice, EdgesAreBidirectional) {
+  const Graph g = gen::road_lattice(12, 12, 0.4, 3);
+  std::set<std::pair<vid_t, vid_t>> pairs;
+  for (const Edge& e : g.edges()) pairs.insert({e.src, e.dst});
+  for (const Edge& e : g.edges())
+    EXPECT_TRUE(pairs.count({e.dst, e.src}));
+}
+
+TEST(WeightSpec, ConstantAndRangedWeights) {
+  const Graph c = gen::erdos_renyi(50, 100, 1, {2.5f, 2.5f});
+  for (const Edge& e : c.edges()) EXPECT_FLOAT_EQ(e.weight, 2.5f);
+  const Graph r = gen::erdos_renyi(50, 100, 1, {1.0f, 9.0f});
+  bool varied = false;
+  for (const Edge& e : r.edges()) {
+    EXPECT_GE(e.weight, 1.0f);
+    EXPECT_LE(e.weight, 9.0f);
+    varied |= e.weight != r.edges()[0].weight;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(StructuredGraphs, PathCycleStarCompleteGrid) {
+  EXPECT_EQ(gen::path(5).num_edges(), 4u);
+  EXPECT_EQ(gen::cycle(5).num_edges(), 5u);
+  EXPECT_EQ(gen::star(4, false).num_edges(), 4u);
+  EXPECT_EQ(gen::star(4, true).num_edges(), 8u);
+  EXPECT_EQ(gen::complete(5).num_edges(), 20u);
+  const Graph grid = gen::grid(3, 4);
+  EXPECT_EQ(grid.num_vertices(), 12u);
+  // 3x4 grid: 3*3 horizontal + 2*4 vertical undirected edges, both ways.
+  EXPECT_EQ(grid.num_edges(), 2u * (9 + 8));
+  EXPECT_TRUE(connected(grid));
+}
+
+}  // namespace
+}  // namespace lazygraph

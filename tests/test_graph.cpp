@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace lazygraph {
+namespace {
+
+Graph triangle() {
+  return Graph(3, {{0, 1, 1.0f}, {1, 2, 2.0f}, {2, 0, 3.0f}});
+}
+
+TEST(Graph, BasicCounts) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_DOUBLE_EQ(g.edge_vertex_ratio(), 1.0);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoint) {
+  EXPECT_THROW(Graph(2, {{0, 5, 1.0f}}), std::invalid_argument);
+}
+
+TEST(Graph, Degrees) {
+  const Graph g(4, {{0, 1, 1}, {0, 2, 1}, {1, 2, 1}, {3, 0, 1}});
+  const auto out = g.out_degrees();
+  const auto in = g.in_degrees();
+  const auto tot = g.total_degrees();
+  EXPECT_EQ(out[0], 2u);
+  EXPECT_EQ(out[3], 1u);
+  EXPECT_EQ(in[2], 2u);
+  EXPECT_EQ(in[3], 0u);
+  EXPECT_EQ(tot[0], 3u);
+}
+
+TEST(Graph, OutCsrNeighbors) {
+  const Graph g = triangle();
+  const Csr& csr = g.out_csr();
+  ASSERT_EQ(csr.degree(0), 1u);
+  EXPECT_EQ(csr.neighbors(0)[0], 1u);
+  EXPECT_FLOAT_EQ(csr.edge_weights(1)[0], 2.0f);
+}
+
+TEST(Graph, InCsrIsTransposeView) {
+  const Graph g = triangle();
+  const Csr& in = g.in_csr();
+  ASSERT_EQ(in.degree(1), 1u);
+  EXPECT_EQ(in.neighbors(1)[0], 0u);  // edge 0->1 reversed
+}
+
+TEST(Graph, CsrCoversAllEdges) {
+  const Graph g = gen::erdos_renyi(100, 400, 3);
+  const Csr& csr = g.out_csr();
+  std::uint64_t total = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) total += csr.degree(v);
+  EXPECT_EQ(total, g.num_edges());
+}
+
+TEST(Graph, TransposeReversesEdges) {
+  const Graph g = triangle();
+  const Graph t = g.transposed();
+  EXPECT_EQ(t.num_edges(), 3u);
+  std::set<std::pair<vid_t, vid_t>> expect{{1, 0}, {2, 1}, {0, 2}};
+  for (const Edge& e : t.edges()) {
+    EXPECT_TRUE(expect.count({e.src, e.dst})) << e.src << "->" << e.dst;
+  }
+}
+
+TEST(Graph, SymmetrizeAddsReverseEdges) {
+  const Graph g(3, {{0, 1, 1}, {1, 0, 1}, {1, 2, 1}});
+  const Graph s = g.symmetrized();
+  EXPECT_EQ(s.num_edges(), 4u);  // 0<->1 (kept once each way), 1<->2 added
+  std::set<std::pair<vid_t, vid_t>> pairs;
+  for (const Edge& e : s.edges()) pairs.insert({e.src, e.dst});
+  EXPECT_TRUE(pairs.count({2, 1}));
+  EXPECT_TRUE(pairs.count({0, 1}));
+  EXPECT_TRUE(pairs.count({1, 0}));
+}
+
+TEST(Graph, SymmetrizeDropsSelfLoops) {
+  const Graph g(2, {{0, 0, 1}, {0, 1, 1}});
+  const Graph s = g.symmetrized();
+  for (const Edge& e : s.edges()) EXPECT_NE(e.src, e.dst);
+  EXPECT_EQ(s.num_edges(), 2u);
+}
+
+TEST(Graph, SimplifyRemovesDuplicatesAndLoops) {
+  const Graph g(3, {{0, 1, 1}, {0, 1, 2}, {1, 1, 1}, {1, 2, 1}});
+  const Graph s = g.simplified();
+  EXPECT_EQ(s.num_edges(), 2u);
+}
+
+TEST(Graph, SymmetrizedIsSymmetric) {
+  const Graph g = gen::rmat(8, 4, 0.57, 0.19, 0.19, 5);
+  const Graph s = g.symmetrized();
+  std::set<std::pair<vid_t, vid_t>> pairs;
+  for (const Edge& e : s.edges()) pairs.insert({e.src, e.dst});
+  for (const Edge& e : s.edges()) {
+    EXPECT_TRUE(pairs.count({e.dst, e.src}));
+  }
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_DOUBLE_EQ(g.edge_vertex_ratio(), 0.0);
+}
+
+TEST(BuildCsr, OrdersBySource) {
+  const std::vector<Edge> edges{{2, 0, 1}, {0, 1, 1}, {2, 1, 1}};
+  const Csr csr = build_csr(3, edges, /*by_source=*/true);
+  EXPECT_EQ(csr.degree(0), 1u);
+  EXPECT_EQ(csr.degree(1), 0u);
+  EXPECT_EQ(csr.degree(2), 2u);
+  EXPECT_EQ(csr.neighbors(2).size(), 2u);
+}
+
+}  // namespace
+}  // namespace lazygraph

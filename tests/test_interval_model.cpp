@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "engine/interval_model.hpp"
+
+namespace lazygraph::engine {
+namespace {
+
+IntervalModelConfig adaptive() { return {}; }
+
+TEST(IntervalModel, FirstIterationNeverLazyUnderAdaptive) {
+  IntervalModel m(adaptive(), /*ev=*/3.0);
+  EXPECT_FALSE(m.turn_on_lazy(1000));
+}
+
+TEST(IntervalModel, LowEvRatioTurnsLazyOnFromSecondIteration) {
+  IntervalModel m(adaptive(), /*ev=*/2.4);  // road-like, E/V <= 10
+  (void)m.turn_on_lazy(1000);
+  EXPECT_TRUE(m.turn_on_lazy(1000));
+  EXPECT_TRUE(m.turn_on_lazy(5000));  // even in ascent
+}
+
+TEST(IntervalModel, HighEvRatioNeedsDescentTrend) {
+  IntervalModel m(adaptive(), /*ev=*/24.0);
+  (void)m.turn_on_lazy(1000);
+  EXPECT_FALSE(m.turn_on_lazy(2000));  // ascent: trend negative
+  EXPECT_FALSE(m.turn_on_lazy(1950));  // shallow descent: 2.5% < 7%
+  EXPECT_TRUE(m.turn_on_lazy(1700));   // 12.8% descent >= 7%
+}
+
+TEST(IntervalModel, TrendComputation) {
+  IntervalModel m(adaptive(), 24.0);
+  (void)m.turn_on_lazy(1000);
+  (void)m.turn_on_lazy(900);
+  EXPECT_NEAR(m.last_trend(), 0.1, 1e-12);
+  (void)m.turn_on_lazy(990);
+  EXPECT_NEAR(m.last_trend(), -0.1, 1e-12);
+}
+
+TEST(IntervalModel, ZeroActiveHandled) {
+  IntervalModel m(adaptive(), 24.0);
+  (void)m.turn_on_lazy(0);
+  EXPECT_FALSE(m.turn_on_lazy(100));  // prev 0: trend 0 < threshold
+}
+
+TEST(IntervalModel, AlwaysLazyPolicy) {
+  IntervalModelConfig cfg;
+  cfg.policy = IntervalPolicy::kAlwaysLazy;
+  IntervalModel m(cfg, 24.0);
+  EXPECT_TRUE(m.turn_on_lazy(1));
+  EXPECT_EQ(m.local_stage_budget(10, 0.0, 1e6),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(IntervalModel, NeverLazyPolicy) {
+  IntervalModelConfig cfg;
+  cfg.policy = IntervalPolicy::kNeverLazy;
+  IntervalModel m(cfg, 2.0);
+  EXPECT_FALSE(m.turn_on_lazy(1));
+  EXPECT_FALSE(m.turn_on_lazy(1));
+}
+
+TEST(IntervalModel, BudgetIsThreeTimesIterationTime) {
+  IntervalModel m(adaptive(), 5.0);
+  // 3 * 0.1s * 1e6 TEPS = 300k traversals.
+  EXPECT_EQ(m.local_stage_budget(100, 0.1, 1e6), 300'000u);
+}
+
+TEST(IntervalModel, BudgetFlooredByFirstSweep) {
+  IntervalModel m(adaptive(), 5.0);
+  // Iteration-time budget (30) below 3x the first sweep (30000).
+  EXPECT_EQ(m.local_stage_budget(10'000, 1e-5, 1e6), 30'000u);
+}
+
+TEST(IntervalModel, CustomThresholds) {
+  IntervalModelConfig cfg;
+  cfg.ev_ratio_threshold = 1.0;  // nothing qualifies by locality
+  cfg.trend_threshold = 0.5;     // very steep descent required
+  IntervalModel m(cfg, 2.0);
+  (void)m.turn_on_lazy(1000);
+  EXPECT_FALSE(m.turn_on_lazy(700));  // 30% < 50%
+  EXPECT_TRUE(m.turn_on_lazy(300));   // 57% >= 50%
+}
+
+TEST(IntervalModel, PolicyNames) {
+  EXPECT_STREQ(to_string(IntervalPolicy::kAdaptive), "adaptive");
+  EXPECT_STREQ(to_string(IntervalPolicy::kAlwaysLazy), "always-lazy");
+  EXPECT_STREQ(to_string(IntervalPolicy::kNeverLazy), "never-lazy");
+}
+
+}  // namespace
+}  // namespace lazygraph::engine

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace lazygraph {
+namespace {
+
+using testsupport::build_dgraph;
+using testsupport::make_cluster;
+
+TEST(LazyVertexEngine, BarrierFree) {
+  const Graph g = gen::erdos_renyi(200, 1000, 3, {1.0f, 5.0f});
+  const auto dg = build_dgraph(g, 4);
+  auto cl = make_cluster(4);
+  const auto r =
+      engine::LazyVertexAsyncEngine(dg, algos::SSSP{.source = 0}, cl).run();
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(cl.metrics().global_syncs, 0u);
+  EXPECT_GT(cl.metrics().vertex_coherency_events, 0u);
+}
+
+TEST(LazyVertexEngine, SsspExact) {
+  const Graph g = gen::erdos_renyi(300, 1500, 5, {1.0f, 9.0f});
+  const auto dg = build_dgraph(g, 6);
+  auto cl = make_cluster(6);
+  const auto r =
+      engine::LazyVertexAsyncEngine(dg, algos::SSSP{.source = 0}, cl).run();
+  ASSERT_TRUE(r.converged);
+  testsupport::expect_sssp_exact(g, 0, r.data);
+}
+
+TEST(LazyVertexEngine, CcExact) {
+  const Graph g = gen::erdos_renyi(400, 800, 9).symmetrized();
+  const auto dg = build_dgraph(g, 8);
+  auto cl = make_cluster(8);
+  const auto r =
+      engine::LazyVertexAsyncEngine(dg, algos::ConnectedComponents{}, cl)
+          .run();
+  ASSERT_TRUE(r.converged);
+  testsupport::expect_cc_exact(g, r.data);
+}
+
+TEST(LazyVertexEngine, KcoreExactWithInversePath) {
+  const Graph g = gen::rmat(9, 5, 0.5, 0.22, 0.22, 13).symmetrized();
+  const auto dg = build_dgraph(g, 8);
+  auto cl = make_cluster(8);
+  const auto r =
+      engine::LazyVertexAsyncEngine(dg, algos::KCore{.k = 5}, cl).run();
+  ASSERT_TRUE(r.converged);
+  testsupport::expect_kcore_exact(g, 5, r.data);
+}
+
+TEST(LazyVertexEngine, PagerankWithinTolerance) {
+  const Graph g = gen::erdos_renyi(150, 900, 19);
+  const auto dg = build_dgraph(g, 4);
+  auto cl = make_cluster(4);
+  const algos::PageRankDelta pr{.tol = 1e-4};
+  const auto r = engine::LazyVertexAsyncEngine(dg, pr, cl).run();
+  ASSERT_TRUE(r.converged);
+  testsupport::expect_pagerank_close(g, r.data, 1e-4);
+}
+
+TEST(LazyVertexEngine, ReplicasCoherentAtTermination) {
+  const Graph g = gen::rmat(8, 6, 0.55, 0.2, 0.2, 5, {1.0f, 5.0f});
+  const auto dg = build_dgraph(g, 8);
+  auto cl = make_cluster(8);
+  engine::LazyVertexAsyncEngine eng(dg, algos::SSSP{.source = 0}, cl);
+  const auto r = eng.run();
+  ASSERT_TRUE(r.converged);
+  testsupport::expect_replicas_coherent(
+      dg, eng.states(),
+      [](const algos::SSSP::VData& a, const algos::SSSP::VData& b) {
+        return a.dist == b.dist;
+      });
+}
+
+// Correctness must hold for any staleness bound (how long a replica defers
+// its per-vertex coherency).
+class LazyVertexStaleness : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(LazyVertexStaleness, SsspExactAtAnyStaleness) {
+  const Graph g = gen::road_lattice(15, 15, 0.3, 5, {1.0f, 7.0f});
+  const auto dg = build_dgraph(g, 6);
+  auto cl = make_cluster(6);
+  engine::LazyVertexOptions opts;
+  opts.staleness = GetParam();
+  const auto r =
+      engine::LazyVertexAsyncEngine(dg, algos::SSSP{.source = 2}, cl, opts)
+          .run();
+  ASSERT_TRUE(r.converged);
+  testsupport::expect_sssp_exact(g, 2, r.data);
+}
+
+TEST_P(LazyVertexStaleness, KcoreExactAtAnyStaleness) {
+  const Graph g = gen::erdos_renyi(300, 1800, 41).symmetrized();
+  const auto dg = build_dgraph(g, 6);
+  auto cl = make_cluster(6);
+  engine::LazyVertexOptions opts;
+  opts.staleness = GetParam();
+  const auto r =
+      engine::LazyVertexAsyncEngine(dg, algos::KCore{.k = 6}, cl, opts).run();
+  ASSERT_TRUE(r.converged);
+  testsupport::expect_kcore_exact(g, 6, r.data);
+}
+
+INSTANTIATE_TEST_SUITE_P(StalenessSweep, LazyVertexStaleness,
+                         ::testing::Values(1u, 2u, 4u, 16u, 1000u));
+
+TEST(LazyVertexEngine, HigherStalenessFewerCoherencyEvents) {
+  const Graph g = gen::erdos_renyi(300, 1800, 3, {1.0f, 5.0f});
+  const auto dg = build_dgraph(g, 8);
+  std::uint64_t events[2];
+  int i = 0;
+  for (const std::uint32_t staleness : {1u, 64u}) {
+    auto cl = make_cluster(8);
+    engine::LazyVertexOptions opts;
+    opts.staleness = staleness;
+    (void)engine::LazyVertexAsyncEngine(dg, algos::SSSP{.source = 0}, cl, opts)
+        .run();
+    events[i++] = cl.metrics().vertex_coherency_events;
+  }
+  EXPECT_GE(events[0], events[1]);
+}
+
+TEST(LazyVertexEngine, WorksOnSplitGraphs) {
+  const Graph g = gen::rmat(8, 8, 0.57, 0.19, 0.19, 3, {1.0f, 9.0f});
+  const auto dg = build_dgraph(g, 8, partition::CutKind::kCoordinated, 7,
+                               /*split=*/true);
+  ASSERT_GT(dg.parallel_edge_copies(), 0u);
+  auto cl = make_cluster(8);
+  const auto r =
+      engine::LazyVertexAsyncEngine(dg, algos::SSSP{.source = 0}, cl).run();
+  ASSERT_TRUE(r.converged);
+  testsupport::expect_sssp_exact(g, 0, r.data);
+}
+
+}  // namespace
+}  // namespace lazygraph

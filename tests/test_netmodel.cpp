@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "sim/netmodel.hpp"
+
+namespace lazygraph::sim {
+namespace {
+
+TEST(NetModel, PaperFitsAtDefaults) {
+  const NetworkModel net({}, 48);
+  // a2a fit as printed in the paper: t = 0.00029*MB + 0.044.
+  EXPECT_NEAR(net.all_to_all_seconds(10.0), 0.00029 * 10 + 0.044, 1e-9);
+  // m2m fit plus the second-phase latency (see NetworkModelConfig docs).
+  EXPECT_NEAR(net.mirrors_to_master_seconds(10.0),
+              -6e-7 * 100 + 0.00045 * 10 + 0.047, 1e-9);
+}
+
+TEST(NetModel, ZeroVolumeIsFree) {
+  const NetworkModel net({}, 8);
+  EXPECT_DOUBLE_EQ(net.all_to_all_seconds(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(net.mirrors_to_master_seconds(0.0), 0.0);
+}
+
+TEST(NetModel, SmallExchangesFavorAllToAll) {
+  const NetworkModel net({}, 48);
+  EXPECT_LT(net.all_to_all_seconds(1.0), net.mirrors_to_master_seconds(1.0));
+}
+
+TEST(NetModel, LargeExchangesFavorM2mAtSameWireReduction) {
+  // For the same logical exchange a2a ships ~2.5x more bytes; m2m must win
+  // once volumes grow.
+  const NetworkModel net({}, 48);
+  EXPECT_GT(net.all_to_all_seconds(2.5 * 50.0),
+            net.mirrors_to_master_seconds(50.0));
+}
+
+TEST(NetModel, MonotoneBeyondParabolaVertex) {
+  // The paper's downward quadratic is clamped: bigger volume never gets
+  // cheaper.
+  const NetworkModel net({}, 48);
+  double prev = 0.0;
+  for (double mb = 10; mb <= 3000; mb *= 2) {
+    const double t = net.mirrors_to_master_seconds(mb);
+    EXPECT_GE(t, prev) << "non-monotone at " << mb;
+    prev = t;
+  }
+}
+
+TEST(NetModel, BandwidthFloorUsesAggregateBandwidth) {
+  // Pick a volume where the per-NIC floor dominates the fitted line for both
+  // cluster sizes (the fitted slope itself equals ~3.4 GB/s aggregate, so
+  // very large clusters are always fit-bound).
+  NetworkModelConfig cfg;
+  const NetworkModel one(cfg, 1);
+  const NetworkModel eight(cfg, 8);
+  const double big = 1e4;  // MB
+  EXPECT_NEAR(one.all_to_all_seconds(big) / eight.all_to_all_seconds(big),
+              8.0, 0.1);
+}
+
+TEST(NetModel, VolumeScaleMultipliesCommTime) {
+  NetworkModelConfig scaled;
+  scaled.volume_scale = 100.0;
+  const NetworkModel a(NetworkModelConfig{}, 48);
+  const NetworkModel b(scaled, 48);
+  EXPECT_NEAR(b.all_to_all_seconds(1.0), a.all_to_all_seconds(100.0), 1e-12);
+}
+
+TEST(NetModel, BarrierGrowsLogarithmically) {
+  const NetworkModel net({}, 48);
+  EXPECT_DOUBLE_EQ(net.barrier_seconds(1), 0.0);
+  EXPECT_GT(net.barrier_seconds(48), net.barrier_seconds(4));
+  EXPECT_NEAR(net.barrier_seconds(48) / net.barrier_seconds(2),
+              6.0 / 1.0, 1e-9);  // bit_width(47)=6, bit_width(1)=1
+}
+
+TEST(NetModel, ComputeSecondsUsesTeps) {
+  NetworkModelConfig cfg;
+  cfg.teps = 1e6;
+  const NetworkModel net(cfg, 8);
+  EXPECT_DOUBLE_EQ(net.compute_seconds(2'000'000), 2.0);
+}
+
+TEST(NetModel, MessageOverheadPipelinesAcrossMachines) {
+  const NetworkModel net({}, 8);
+  const double t8 = net.message_overhead_seconds(1000, 8);
+  const double t1 = net.message_overhead_seconds(1000, 1);
+  EXPECT_NEAR(t1 / t8, 8.0, 1e-9);
+}
+
+TEST(NetModel, CommSecondsDispatchesOnMode) {
+  const NetworkModel net({}, 48);
+  EXPECT_DOUBLE_EQ(net.comm_seconds(CommMode::kAllToAll, 5.0),
+                   net.all_to_all_seconds(5.0));
+  EXPECT_DOUBLE_EQ(net.comm_seconds(CommMode::kMirrorsToMaster, 5.0),
+                   net.mirrors_to_master_seconds(5.0));
+}
+
+}  // namespace
+}  // namespace lazygraph::sim

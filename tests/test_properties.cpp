@@ -1,0 +1,143 @@
+// Property-based tests: invariants that must hold over randomized inputs,
+// swept with parameterized seeds.
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace lazygraph {
+namespace {
+
+using engine::EngineKind;
+using testsupport::build_dgraph;
+using testsupport::make_cluster;
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property: lazy and sync engines produce bit-identical SSSP results on
+// random weighted graphs (the paper's eager == lazy equivalence, Section 3.5).
+TEST_P(SeedSweep, LazyEqualsSyncSsspBitExact) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const vid_t n = 50 + static_cast<vid_t>(rng.below(300));
+  const auto m = static_cast<std::uint64_t>(n) * (2 + rng.below(6));
+  const Graph g = gen::erdos_renyi(n, m, seed, {1.0f, 9.0f});
+  const auto machines = static_cast<machine_t>(2 + rng.below(14));
+  const auto dg = build_dgraph(g, machines, partition::CutKind::kCoordinated,
+                               seed);
+  const vid_t source = static_cast<vid_t>(rng.below(n));
+  auto cl1 = make_cluster(machines);
+  auto cl2 = make_cluster(machines);
+  const auto a =
+      engine::run_engine(EngineKind::kSync, dg, algos::SSSP{.source = source},
+                         cl1);
+  const auto b = engine::run_engine(EngineKind::kLazyBlock, dg,
+                                    algos::SSSP{.source = source}, cl2,
+                                    {.graph_ev_ratio = g.edge_vertex_ratio()});
+  ASSERT_TRUE(a.converged && b.converged);
+  for (vid_t v = 0; v < n; ++v) {
+    EXPECT_EQ(a.data[v].dist, b.data[v].dist) << "seed " << seed;
+  }
+}
+
+// Property: k-core output is a valid k-core — every surviving vertex has at
+// least k surviving neighbours, and no deleted vertex could survive.
+TEST_P(SeedSweep, KcoreOutputIsAFixpoint) {
+  const std::uint64_t seed = GetParam();
+  const Graph g =
+      gen::erdos_renyi(200, 200 * (3 + seed % 4), seed).symmetrized();
+  const std::uint32_t k = 3 + seed % 5;
+  const auto dg = build_dgraph(g, 8, partition::CutKind::kCoordinated, seed);
+  auto cl = make_cluster(8);
+  const auto r = engine::run_engine(EngineKind::kLazyBlock, dg,
+                                    algos::KCore{.k = k}, cl,
+                                    {.graph_ev_ratio = g.edge_vertex_ratio()});
+  ASSERT_TRUE(r.converged);
+  const Csr& adj = g.out_csr();
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (r.data[v].deleted) continue;
+    std::uint32_t surviving = 0;
+    for (const vid_t u : adj.neighbors(v)) surviving += !r.data[u].deleted;
+    EXPECT_GE(surviving, k) << "vertex " << v << " seed " << seed;
+  }
+  // Completeness: it matches the maximal k-core from peeling.
+  testsupport::expect_kcore_exact(g, k, r.data);
+}
+
+// Property: CC labels are the minimum vertex id of each (undirected)
+// component, and endpoints of every edge share a label.
+TEST_P(SeedSweep, CcLabelsConsistentAcrossEdges) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = gen::erdos_renyi(300, 450, seed).symmetrized();
+  const auto dg = build_dgraph(g, 6, partition::CutKind::kHybrid, seed);
+  auto cl = make_cluster(6);
+  const auto r = engine::run_engine(EngineKind::kLazyVertex, dg,
+                                    algos::ConnectedComponents{}, cl);
+  ASSERT_TRUE(r.converged);
+  for (const Edge& e : g.edges()) {
+    EXPECT_EQ(r.data[e.src].label, r.data[e.dst].label);
+  }
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LE(r.data[v].label, v);  // min-label invariant
+  }
+}
+
+// Property: SSSP distances satisfy the triangle inequality over every edge
+// (relaxation fixpoint), and the source is 0.
+TEST_P(SeedSweep, SsspIsARelaxationFixpoint) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = gen::rmat(8, 4, 0.5, 0.2, 0.2, seed, {1.0f, 9.0f});
+  const auto dg = build_dgraph(g, 10, partition::CutKind::kGrid, seed);
+  auto cl = make_cluster(10);
+  const auto r = engine::run_engine(EngineKind::kAsync, dg,
+                                    algos::SSSP{.source = 0}, cl);
+  ASSERT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.data[0].dist, 0.0);
+  for (const Edge& e : g.edges()) {
+    EXPECT_LE(r.data[e.dst].dist,
+              r.data[e.src].dist + static_cast<double>(e.weight) + 1e-12);
+  }
+}
+
+// Property: PageRank mass conservation — with every vertex having out-degree
+// >= 1 (cycle augmentation), total rank equals n within tolerance.
+TEST_P(SeedSweep, PagerankMassConservation) {
+  const std::uint64_t seed = GetParam();
+  const vid_t n = 128;
+  Graph base = gen::erdos_renyi(n, 512, seed);
+  std::vector<Edge> edges = base.edges();
+  for (vid_t v = 0; v < n; ++v) edges.push_back({v, (v + 1) % n, 1.0f});
+  const Graph g = Graph(n, std::move(edges)).simplified();
+  const auto dg = build_dgraph(g, 8, partition::CutKind::kCoordinated, seed);
+  auto cl = make_cluster(8);
+  const algos::PageRankDelta pr{.tol = 1e-6};
+  const auto r = engine::run_engine(EngineKind::kLazyBlock, dg, pr, cl,
+                                    {.graph_ev_ratio = g.edge_vertex_ratio()});
+  ASSERT_TRUE(r.converged);
+  double total = 0.0;
+  for (vid_t v = 0; v < n; ++v) total += r.data[v].rank;
+  EXPECT_NEAR(total, static_cast<double>(n), n * 1e-3);
+}
+
+// Property: metrics sanity on any run — counters are internally consistent.
+TEST_P(SeedSweep, MetricsInternallyConsistent) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = gen::erdos_renyi(200, 900, seed, {1.0f, 5.0f});
+  const auto dg = build_dgraph(g, 8, partition::CutKind::kCoordinated, seed);
+  auto cl = make_cluster(8);
+  const auto r = engine::run_engine(EngineKind::kLazyBlock, dg,
+                                    algos::SSSP{.source = 0}, cl,
+                                    {.graph_ev_ratio = g.edge_vertex_ratio()});
+  ASSERT_TRUE(r.converged);
+  const sim::SimMetrics& m = cl.metrics();
+  EXPECT_EQ(m.global_syncs, m.supersteps);  // lazy-block: 1 per superstep
+  EXPECT_EQ(m.a2a_exchanges + m.m2m_exchanges, m.supersteps);
+  EXPECT_GT(m.applies, 0u);
+  EXPECT_GE(m.edge_traversals, m.applies);
+  EXPECT_GE(m.sim_seconds(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace lazygraph

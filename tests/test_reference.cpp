@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/reference.hpp"
+
+namespace lazygraph {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(RefPagerank, UniformOnRegularGraph) {
+  // On a directed cycle every vertex has the same rank: r = .15 + .85 r.
+  const Graph g = gen::cycle(10);
+  const auto pr = reference::pagerank(g, 1e-12, 1000);
+  for (const double r : pr) EXPECT_NEAR(r, 1.0, 1e-9);
+}
+
+TEST(RefPagerank, SinkAccumulatesRank) {
+  // star: leaves -> center. Center rank = .15 + .85 * L * (0.15).
+  const Graph g = gen::star(4, false).transposed();
+  const auto pr = reference::pagerank(g, 1e-12, 100);
+  EXPECT_NEAR(pr[0], 0.15 + 0.85 * 4 * 0.15, 1e-9);
+  for (int i = 1; i <= 4; ++i) EXPECT_NEAR(pr[i], 0.15, 1e-12);
+}
+
+TEST(RefPagerank, RanksSumMatchesClosedForm) {
+  // For a graph where every vertex has out-degree >= 1, sum of ranks
+  // converges to n * 0.15 / (1 - 0.85) = n (un-normalized form).
+  const Graph g = gen::cycle(64);
+  const auto pr = reference::pagerank(g, 1e-13, 2000);
+  double total = 0;
+  for (const double r : pr) total += r;
+  EXPECT_NEAR(total, 64.0, 1e-6);
+}
+
+TEST(RefSssp, PathDistances) {
+  const Graph g = gen::path(5, {2.0f, 2.0f});
+  const auto d = reference::sssp(g, 0);
+  for (vid_t v = 0; v < 5; ++v) EXPECT_DOUBLE_EQ(d[v], 2.0 * v);
+}
+
+TEST(RefSssp, UnreachableIsInfinity) {
+  const Graph g = gen::path(4);
+  const auto d = reference::sssp(g, 2);
+  EXPECT_DOUBLE_EQ(d[0], kInf);
+  EXPECT_DOUBLE_EQ(d[1], kInf);
+  EXPECT_DOUBLE_EQ(d[2], 0.0);
+  EXPECT_DOUBLE_EQ(d[3], 1.0);
+}
+
+TEST(RefSssp, PrefersLighterLongerPath) {
+  // 0->1 weight 10; 0->2->1 weight 2+3.
+  const Graph g(3, {{0, 1, 10.0f}, {0, 2, 2.0f}, {2, 1, 3.0f}});
+  const auto d = reference::sssp(g, 0);
+  EXPECT_DOUBLE_EQ(d[1], 5.0);
+}
+
+TEST(RefSssp, RejectsBadSource) {
+  const Graph g = gen::path(3);
+  EXPECT_THROW(reference::sssp(g, 99), std::invalid_argument);
+}
+
+TEST(RefCc, TwoComponents) {
+  const Graph g(6, {{0, 1, 1}, {1, 2, 1}, {3, 4, 1}, {4, 5, 1}});
+  const auto cc = reference::connected_components(g);
+  EXPECT_EQ(cc[0], cc[1]);
+  EXPECT_EQ(cc[1], cc[2]);
+  EXPECT_EQ(cc[3], cc[4]);
+  EXPECT_NE(cc[0], cc[3]);
+  // Labels are the smallest member id.
+  EXPECT_EQ(cc[0], 0u);
+  EXPECT_EQ(cc[3], 3u);
+}
+
+TEST(RefCc, DirectionIgnored) {
+  const Graph g(3, {{2, 1, 1}, {1, 0, 1}});
+  const auto cc = reference::connected_components(g);
+  EXPECT_EQ(cc[0], 0u);
+  EXPECT_EQ(cc[1], 0u);
+  EXPECT_EQ(cc[2], 0u);
+}
+
+TEST(RefCc, IsolatedVerticesAreOwnComponents) {
+  const Graph g(4, {{0, 1, 1}});
+  const auto cc = reference::connected_components(g);
+  EXPECT_EQ(cc[2], 2u);
+  EXPECT_EQ(cc[3], 3u);
+}
+
+TEST(RefKcore, CompleteGraphSurvivesUpToDegree) {
+  const Graph g = gen::complete(6);  // undirected degree 5
+  for (std::uint32_t k = 1; k <= 5; ++k) {
+    const auto core = reference::kcore(g, k);
+    for (const bool alive : core) EXPECT_TRUE(alive) << "k=" << k;
+  }
+  const auto gone = reference::kcore(g, 6);
+  for (const bool alive : gone) EXPECT_FALSE(alive);
+}
+
+TEST(RefKcore, PathPeelsEntirelyAtK2) {
+  const Graph g = gen::path(10);
+  const auto core = reference::kcore(g, 2);
+  // Endpoints have degree 1; peeling cascades through the whole path.
+  for (const bool alive : core) EXPECT_FALSE(alive);
+}
+
+TEST(RefKcore, CliquePlusTailKeepsClique) {
+  // 4-clique (vertices 0..3) with a tail 3-4-5.
+  std::vector<Edge> edges;
+  for (vid_t u = 0; u < 4; ++u)
+    for (vid_t v = u + 1; v < 4; ++v) edges.push_back({u, v, 1});
+  edges.push_back({3, 4, 1});
+  edges.push_back({4, 5, 1});
+  const Graph g(6, std::move(edges));
+  const auto core = reference::kcore(g, 3);
+  for (vid_t v = 0; v < 4; ++v) EXPECT_TRUE(core[v]);
+  EXPECT_FALSE(core[4]);
+  EXPECT_FALSE(core[5]);
+}
+
+TEST(RefBfs, HopCounts) {
+  const Graph g = gen::path(6);
+  const auto d = reference::bfs(g, 0);
+  for (vid_t v = 0; v < 6; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(RefBfs, IgnoresWeights) {
+  const Graph g(3, {{0, 1, 100.0f}, {1, 2, 100.0f}, {0, 2, 1.0f}});
+  const auto d = reference::bfs(g, 0);
+  EXPECT_EQ(d[2], 1u);  // direct hop, weight irrelevant
+}
+
+TEST(RefConsistency, BfsMatchesSsspOnUnitWeights) {
+  const Graph g = gen::rmat(9, 4, 0.5, 0.2, 0.2, 21, {1.0f, 1.0f});
+  const auto b = reference::bfs(g, 0);
+  const auto s = reference::sssp(g, 0);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (b[v] == std::numeric_limits<std::uint32_t>::max()) {
+      EXPECT_DOUBLE_EQ(s[v], kInf);
+    } else {
+      EXPECT_DOUBLE_EQ(s[v], static_cast<double>(b[v]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lazygraph

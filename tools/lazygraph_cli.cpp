@@ -1,0 +1,174 @@
+// lazygraph_cli — run any algorithm on any engine over a dataset analogue or
+// an edge-list file, printing results and run metrics.
+//
+//   lazygraph_cli --algo=sssp --engine=lazy-block --dataset=roadusa-like
+//                 --machines=16 --scale=0.2
+//   lazygraph_cli --algo=pagerank --engine=sync --graph=my_edges.txt
+//
+// Options:
+//   --algo=pagerank|sssp|cc|kcore|bfs|widest|diffusion   (default pagerank)
+//   --engine=sync|async|lazy-block|lazy-vertex           (default lazy-block)
+//   --dataset=<table1 analogue name> | --graph=<edge-list path>
+//   --machines=N --scale=S --cut=random|grid|coordinated|hybrid
+//   --split=true|false  --source=V  --k=K  --tol=T  --top=N
+#include <iostream>
+
+#include "lazygraph.hpp"
+
+using namespace lazygraph;
+
+namespace {
+
+engine::EngineKind parse_engine(const std::string& s) {
+  if (s == "sync") return engine::EngineKind::kSync;
+  if (s == "async") return engine::EngineKind::kAsync;
+  if (s == "lazy-block") return engine::EngineKind::kLazyBlock;
+  if (s == "lazy-vertex") return engine::EngineKind::kLazyVertex;
+  throw std::invalid_argument("unknown engine: " + s);
+}
+
+partition::CutKind parse_cut(const std::string& s) {
+  if (s == "random") return partition::CutKind::kRandom;
+  if (s == "grid") return partition::CutKind::kGrid;
+  if (s == "coordinated") return partition::CutKind::kCoordinated;
+  if (s == "oblivious") return partition::CutKind::kOblivious;
+  if (s == "hybrid") return partition::CutKind::kHybrid;
+  throw std::invalid_argument("unknown cut: " + s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const Options opts(argc, argv);
+  const std::string algo = opts.get("algo", "pagerank");
+  const auto kind = parse_engine(opts.get("engine", "lazy-block"));
+  const auto machines =
+      static_cast<machine_t>(opts.get_int("machines", 16));
+  const auto cut = parse_cut(opts.get("cut", "coordinated"));
+  const bool want_split =
+      opts.get_bool("split", kind == engine::EngineKind::kLazyBlock ||
+                                 kind == engine::EngineKind::kLazyVertex);
+
+  // Load or generate the user-view graph.
+  Graph g;
+  std::string graph_name;
+  if (opts.has("graph")) {
+    graph_name = opts.get("graph", "");
+    g = io::read_edge_list_file(graph_name);
+  } else {
+    graph_name = opts.get("dataset", "webgoogle-like");
+    g = datasets::make(datasets::spec_by_name(graph_name),
+                       opts.get_double("scale", 0.2));
+  }
+  const bool symmetrize = (algo == "cc" || algo == "kcore");
+  if (symmetrize) g = g.symmetrized();
+  std::cout << graph_name << ": " << g.num_vertices() << " vertices, "
+            << g.num_edges() << " edges, E/V="
+            << Table::num(g.edge_vertex_ratio(), 2) << "\n";
+
+  // Partition (+ optional edge splitting for the lazy engines).
+  const auto assignment = partition::assign_edges(
+      g, machines, {cut, static_cast<std::uint64_t>(opts.get_int("seed", 7))});
+  std::vector<std::uint64_t> split;
+  const bool lazy_engine = kind == engine::EngineKind::kLazyBlock ||
+                           kind == engine::EngineKind::kLazyVertex;
+  if (want_split && lazy_engine) {
+    split = partition::select_split_edges(g, machines, {});
+  }
+  const auto dg =
+      partition::DistributedGraph::build(g, machines, assignment, split);
+  std::cout << "partition: " << to_string(cut) << " over " << machines
+            << " machines, lambda=" << Table::num(dg.replication_factor(), 2)
+            << ", parallel-edge copies=" << dg.parallel_edge_copies() << "\n";
+
+  sim::Cluster cluster({machines, {}, 0});
+  const engine::EngineOptions eopts{.graph_ev_ratio = g.edge_vertex_ratio()};
+  const auto source = static_cast<vid_t>(opts.get_int("source", 0));
+  const auto top = static_cast<std::size_t>(opts.get_int("top", 5));
+
+  bool converged = false;
+  std::uint64_t supersteps = 0;
+  std::vector<std::pair<double, vid_t>> ranked;  // (score, vertex) for --top
+  if (algo == "pagerank") {
+    const auto r = engine::run_engine(
+        kind, dg, algos::PageRankDelta{.tol = opts.get_double("tol", 1e-3)},
+        cluster, eopts);
+    converged = r.converged;
+    supersteps = r.supersteps;
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+      ranked.push_back({r.data[v].rank, v});
+  } else if (algo == "sssp") {
+    const auto r = engine::run_engine(kind, dg, algos::SSSP{.source = source},
+                                      cluster, eopts);
+    converged = r.converged;
+    supersteps = r.supersteps;
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+      ranked.push_back({-r.data[v].dist, v});
+  } else if (algo == "bfs") {
+    const auto r = engine::run_engine(kind, dg, algos::BFS{.source = source},
+                                      cluster, eopts);
+    converged = r.converged;
+    supersteps = r.supersteps;
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+      ranked.push_back({-static_cast<double>(r.data[v].depth), v});
+  } else if (algo == "cc") {
+    const auto r = engine::run_engine(kind, dg, algos::ConnectedComponents{},
+                                      cluster, eopts);
+    converged = r.converged;
+    supersteps = r.supersteps;
+    std::map<vid_t, std::size_t> sizes;
+    for (vid_t v = 0; v < g.num_vertices(); ++v) ++sizes[r.data[v].label];
+    std::cout << "components: " << sizes.size() << "\n";
+  } else if (algo == "kcore") {
+    const auto k = static_cast<std::uint32_t>(opts.get_int("k", 5));
+    const auto r =
+        engine::run_engine(kind, dg, algos::KCore{.k = k}, cluster, eopts);
+    converged = r.converged;
+    supersteps = r.supersteps;
+    std::size_t survivors = 0;
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+      survivors += !r.data[v].deleted;
+    std::cout << k << "-core size: " << survivors << "\n";
+  } else if (algo == "widest") {
+    const auto r = engine::run_engine(
+        kind, dg, algos::WidestPath{.source = source}, cluster, eopts);
+    converged = r.converged;
+    supersteps = r.supersteps;
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+      ranked.push_back({r.data[v].capacity, v});
+  } else if (algo == "diffusion") {
+    const algos::LinearDiffusion prog{
+        .alpha = opts.get_double("alpha", 0.6),
+        .seed = source,
+        .seed_bias = opts.get_double("seed_bias", 1.0)};
+    const auto r = engine::run_engine(kind, dg, prog, cluster, eopts);
+    converged = r.converged;
+    supersteps = r.supersteps;
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+      ranked.push_back({r.data[v].value, v});
+  } else {
+    throw std::invalid_argument("unknown algo: " + algo);
+  }
+
+  std::cout << "engine: " << to_string(kind)
+            << ", converged=" << converged << ", supersteps=" << supersteps
+            << "\n";
+  cluster.metrics().print(std::cout, algo);
+
+  if (!ranked.empty() && top > 0) {
+    std::partial_sort(ranked.begin(),
+                      ranked.begin() + static_cast<long>(
+                                           std::min(top, ranked.size())),
+                      ranked.end(), std::greater<>());
+    std::cout << "top vertices:";
+    for (std::size_t i = 0; i < std::min(top, ranked.size()); ++i) {
+      std::cout << " v" << ranked[i].second << "="
+                << Table::num(std::abs(ranked[i].first), 3);
+    }
+    std::cout << "\n";
+  }
+  return converged ? 0 : 2;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
+}
