@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_syncs.dir/bench_fig10_syncs.cpp.o"
+  "CMakeFiles/bench_fig10_syncs.dir/bench_fig10_syncs.cpp.o.d"
+  "bench_fig10_syncs"
+  "bench_fig10_syncs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_syncs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_kcore.dir/community_kcore.cpp.o"
+  "CMakeFiles/community_kcore.dir/community_kcore.cpp.o.d"
+  "community_kcore"
+  "community_kcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_kcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

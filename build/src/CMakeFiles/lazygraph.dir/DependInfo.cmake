@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/comm_mode.cpp" "src/CMakeFiles/lazygraph.dir/engine/comm_mode.cpp.o" "gcc" "src/CMakeFiles/lazygraph.dir/engine/comm_mode.cpp.o.d"
+  "/root/repo/src/engine/interval_model.cpp" "src/CMakeFiles/lazygraph.dir/engine/interval_model.cpp.o" "gcc" "src/CMakeFiles/lazygraph.dir/engine/interval_model.cpp.o.d"
+  "/root/repo/src/graph/analysis.cpp" "src/CMakeFiles/lazygraph.dir/graph/analysis.cpp.o" "gcc" "src/CMakeFiles/lazygraph.dir/graph/analysis.cpp.o.d"
+  "/root/repo/src/graph/datasets.cpp" "src/CMakeFiles/lazygraph.dir/graph/datasets.cpp.o" "gcc" "src/CMakeFiles/lazygraph.dir/graph/datasets.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/lazygraph.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/lazygraph.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/lazygraph.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/lazygraph.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/lazygraph.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/lazygraph.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/reference.cpp" "src/CMakeFiles/lazygraph.dir/graph/reference.cpp.o" "gcc" "src/CMakeFiles/lazygraph.dir/graph/reference.cpp.o.d"
+  "/root/repo/src/partition/dgraph.cpp" "src/CMakeFiles/lazygraph.dir/partition/dgraph.cpp.o" "gcc" "src/CMakeFiles/lazygraph.dir/partition/dgraph.cpp.o.d"
+  "/root/repo/src/partition/edge_splitter.cpp" "src/CMakeFiles/lazygraph.dir/partition/edge_splitter.cpp.o" "gcc" "src/CMakeFiles/lazygraph.dir/partition/edge_splitter.cpp.o.d"
+  "/root/repo/src/partition/partitioner.cpp" "src/CMakeFiles/lazygraph.dir/partition/partitioner.cpp.o" "gcc" "src/CMakeFiles/lazygraph.dir/partition/partitioner.cpp.o.d"
+  "/root/repo/src/sim/cluster.cpp" "src/CMakeFiles/lazygraph.dir/sim/cluster.cpp.o" "gcc" "src/CMakeFiles/lazygraph.dir/sim/cluster.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/lazygraph.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/lazygraph.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/netmodel.cpp" "src/CMakeFiles/lazygraph.dir/sim/netmodel.cpp.o" "gcc" "src/CMakeFiles/lazygraph.dir/sim/netmodel.cpp.o.d"
+  "/root/repo/src/util/options.cpp" "src/CMakeFiles/lazygraph.dir/util/options.cpp.o" "gcc" "src/CMakeFiles/lazygraph.dir/util/options.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/lazygraph.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/lazygraph.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/threadpool.cpp" "src/CMakeFiles/lazygraph.dir/util/threadpool.cpp.o" "gcc" "src/CMakeFiles/lazygraph.dir/util/threadpool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

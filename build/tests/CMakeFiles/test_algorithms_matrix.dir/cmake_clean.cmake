@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algorithms_matrix.dir/test_algorithms_matrix.cpp.o"
+  "CMakeFiles/test_algorithms_matrix.dir/test_algorithms_matrix.cpp.o.d"
+  "test_algorithms_matrix"
+  "test_algorithms_matrix.pdb"
+  "test_algorithms_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algorithms_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_async_engine.dir/test_async_engine.cpp.o"
+  "CMakeFiles/test_async_engine.dir/test_async_engine.cpp.o.d"
+  "test_async_engine"
+  "test_async_engine.pdb"
+  "test_async_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_async_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_mode.dir/test_comm_mode.cpp.o"
+  "CMakeFiles/test_comm_mode.dir/test_comm_mode.cpp.o.d"
+  "test_comm_mode"
+  "test_comm_mode.pdb"
+  "test_comm_mode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dgraph.dir/test_dgraph.cpp.o"
+  "CMakeFiles/test_dgraph.dir/test_dgraph.cpp.o.d"
+  "test_dgraph"
+  "test_dgraph.pdb"
+  "test_dgraph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edge_splitter.dir/test_edge_splitter.cpp.o"
+  "CMakeFiles/test_edge_splitter.dir/test_edge_splitter.cpp.o.d"
+  "test_edge_splitter"
+  "test_edge_splitter.pdb"
+  "test_edge_splitter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edge_splitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

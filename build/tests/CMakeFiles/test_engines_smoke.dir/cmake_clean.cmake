@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engines_smoke.dir/test_engines_smoke.cpp.o"
+  "CMakeFiles/test_engines_smoke.dir/test_engines_smoke.cpp.o.d"
+  "test_engines_smoke"
+  "test_engines_smoke.pdb"
+  "test_engines_smoke[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engines_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

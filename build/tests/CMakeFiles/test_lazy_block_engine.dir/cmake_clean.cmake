@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lazy_block_engine.dir/test_lazy_block_engine.cpp.o"
+  "CMakeFiles/test_lazy_block_engine.dir/test_lazy_block_engine.cpp.o.d"
+  "test_lazy_block_engine"
+  "test_lazy_block_engine.pdb"
+  "test_lazy_block_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lazy_block_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync_engine.dir/test_sync_engine.cpp.o"
+  "CMakeFiles/test_sync_engine.dir/test_sync_engine.cpp.o.d"
+  "test_sync_engine"
+  "test_sync_engine.pdb"
+  "test_sync_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

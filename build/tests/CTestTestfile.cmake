@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_generators[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_reference[1]_include.cmake")
+include("/root/repo/build/tests/test_datasets[1]_include.cmake")
+include("/root/repo/build/tests/test_netmodel[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_partitioner[1]_include.cmake")
+include("/root/repo/build/tests/test_dgraph[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_splitter[1]_include.cmake")
+include("/root/repo/build/tests/test_interval_model[1]_include.cmake")
+include("/root/repo/build/tests/test_comm_mode[1]_include.cmake")
+include("/root/repo/build/tests/test_sync_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_lazy_block_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_async_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_lazy_vertex_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_algorithms_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_extra_algorithms[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_engines_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")

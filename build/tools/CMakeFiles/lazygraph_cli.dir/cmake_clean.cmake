@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazygraph_cli.dir/lazygraph_cli.cpp.o"
+  "CMakeFiles/lazygraph_cli.dir/lazygraph_cli.cpp.o.d"
+  "lazygraph_cli"
+  "lazygraph_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazygraph_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
