@@ -67,9 +67,10 @@ void BM_LazyPagerank(benchmark::State& state) {
   const auto dg = partition::DistributedGraph::build(g, machines, assignment);
   for (auto _ : state) {
     sim::Cluster cluster({machines, {}, 0});
-    benchmark::DoNotOptimize(engine::run_engine(
-        engine::EngineKind::kLazyBlock, dg, algos::PageRankDelta{}, cluster,
-        {.graph_ev_ratio = g.edge_vertex_ratio()}));
+    benchmark::DoNotOptimize(
+        engine::run({.kind = engine::EngineKind::kLazyBlock,
+                     .graph_ev_ratio = g.edge_vertex_ratio()},
+                    dg, algos::PageRankDelta{}, cluster));
   }
 }
 BENCHMARK(BM_LazyPagerank)->Arg(8)->Arg(48)->Unit(benchmark::kMillisecond);

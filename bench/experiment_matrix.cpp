@@ -91,36 +91,34 @@ CellResult run_cell(Algo algo, const datasets::DatasetSpec& spec,
       cfg.seed, split ? net.teps : 0.0, cfg.splitter_t_extra);
 
   sim::Cluster cluster(sim::ClusterConfig{cfg.machines, net, cfg.threads});
-  engine::EngineOptions eopts;
-  eopts.graph_ev_ratio = g.edge_vertex_ratio();
-  eopts.lazy.interval.policy = cfg.interval;
-  eopts.lazy.comm_policy = cfg.comm_policy;
+  engine::RunConfig rcfg;
+  rcfg.kind = kind;
+  rcfg.graph_ev_ratio = g.edge_vertex_ratio();
+  rcfg.interval.policy = cfg.interval;
+  rcfg.comm_policy = cfg.comm_policy;
+  if (cfg.tracer) {
+    cfg.tracer->clear();
+    rcfg.tracer = cfg.tracer;
+  }
 
   bool converged = false;
   std::uint64_t supersteps = 0;
+  const auto take = [&](const auto& r) {
+    converged = r.converged;
+    supersteps = r.supersteps;
+  };
   switch (algo) {
-    case Algo::kPageRank: {
-      const auto r = engine::run_engine(
-          kind, dg, algos::PageRankDelta{.tol = cfg.pr_tol}, cluster, eopts);
-      converged = r.converged;
-      supersteps = r.supersteps;
+    case Algo::kPageRank:
+      take(engine::run(rcfg, dg, algos::PageRankDelta{.tol = cfg.pr_tol},
+                       cluster));
       break;
-    }
-    case Algo::kSSSP: {
-      const auto r = engine::run_engine(
-          kind, dg, algos::SSSP{.source = pick_source(g)}, cluster, eopts);
-      converged = r.converged;
-      supersteps = r.supersteps;
+    case Algo::kSSSP:
+      take(engine::run(rcfg, dg, algos::SSSP{.source = pick_source(g)},
+                       cluster));
       break;
-    }
-    case Algo::kCC: {
-      const auto r = engine::run_engine(kind, dg,
-                                        algos::ConnectedComponents{}, cluster,
-                                        eopts);
-      converged = r.converged;
-      supersteps = r.supersteps;
+    case Algo::kCC:
+      take(engine::run(rcfg, dg, algos::ConnectedComponents{}, cluster));
       break;
-    }
     case Algo::kKCore: {
       std::uint32_t k = cfg.kcore_k;
       if (k == 0) {
@@ -128,12 +126,12 @@ CellResult run_cell(Algo algo, const datasets::DatasetSpec& spec,
         k = std::max<std::uint32_t>(
             3, static_cast<std::uint32_t>(avg_degree / 2.0));
       }
-      const auto r = engine::run_engine(kind, dg, algos::KCore{.k = k},
-                                        cluster, eopts);
-      converged = r.converged;
-      supersteps = r.supersteps;
+      take(engine::run(rcfg, dg, algos::KCore{.k = k}, cluster));
       break;
     }
+  }
+  if (cfg.tracer) {
+    cfg.tracer->set_run_info(to_string(kind), to_string(algo));
   }
 
   const sim::SimMetrics& m = cluster.metrics();

@@ -50,6 +50,10 @@ struct ExperimentConfig {
   engine::IntervalPolicy interval = engine::IntervalPolicy::kAdaptive;
   engine::CommModePolicy comm_policy = engine::CommModePolicy::kAdaptive;
   std::size_t threads = 0;
+  /// Optional per-cell trace sink (not owned). When set, run_cell clears it
+  /// and attaches it to the cell's run, so each cell leaves a full span
+  /// timeline + superstep decision log behind.
+  sim::Tracer* tracer = nullptr;
   /// Scale the effective machine TEPS by analogue_edges / paper_edges so the
   /// compute:communication ratio of a run matches the paper's full-size
   /// experiments (our analogues are 100-1000x smaller, which would otherwise

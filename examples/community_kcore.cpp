@@ -32,11 +32,10 @@ int main(int argc, char** argv) {
   for (const auto kind :
        {engine::EngineKind::kSync, engine::EngineKind::kLazyBlock}) {
     sim::Cluster cluster({machines, {}, 0});
-    const auto r = engine::run_engine(
-        kind, dg, kcore, cluster, {.graph_ev_ratio = g.edge_vertex_ratio()});
-    t.add_row({to_string(kind), Table::num(cluster.metrics().sim_seconds(), 4),
-               Table::num(cluster.metrics().global_syncs),
-               Table::num(cluster.metrics().network_mb(), 3)});
+    const auto r = engine::run({.kind = kind}, dg, kcore, cluster);
+    t.add_row({to_string(kind), Table::num(r.metrics.sim_seconds(), 4),
+               Table::num(r.metrics.global_syncs),
+               Table::num(r.metrics.network_mb(), 3)});
     if (kind == engine::EngineKind::kLazyBlock) {
       in_core.resize(r.data.size());
       for (std::size_t v = 0; v < r.data.size(); ++v)

@@ -23,16 +23,19 @@ int main() {
             << "\n\n";
 
   // 3. Run PageRank under eager (PowerGraph Sync) and lazy (LazyGraph)
-  //    replica coherency.
+  //    replica coherency, tracing where each run's simulated time went.
   const algos::PageRankDelta pr{.tol = 1e-3};
   for (const auto kind :
        {engine::EngineKind::kSync, engine::EngineKind::kLazyBlock}) {
     sim::Cluster cluster({.machines = machines});
-    const auto result = engine::run_engine(
-        kind, dg, pr, cluster, {.graph_ev_ratio = g.edge_vertex_ratio()});
+    sim::Tracer tracer;
+    const auto result =
+        engine::run({.kind = kind, .tracer = &tracer}, dg, pr, cluster);
     std::cout << to_string(kind) << ": converged=" << result.converged
               << " supersteps=" << result.supersteps << "\n";
-    cluster.metrics().print(std::cout, std::string("  ") + to_string(kind));
+    result.metrics.print(std::cout, std::string("  ") + to_string(kind));
+    std::cout << "  where the time went:\n";
+    tracer.kind_summary_table().print(std::cout);
 
     // Top-5 ranked vertices.
     std::vector<vid_t> order(g.num_vertices());

@@ -42,10 +42,9 @@ int main(int argc, char** argv) {
   for (const auto kind :
        {engine::EngineKind::kSync, engine::EngineKind::kLazyBlock}) {
     sim::Cluster cluster({machines, {}, 0});
-    const auto r = engine::run_engine(
-        kind, dg, sssp, cluster, {.graph_ev_ratio = g.edge_vertex_ratio()});
-    t.add_row({to_string(kind), Table::num(cluster.metrics().sim_seconds(), 4),
-               Table::num(cluster.metrics().global_syncs),
+    const auto r = engine::run({.kind = kind}, dg, sssp, cluster);
+    t.add_row({to_string(kind), Table::num(r.metrics.sim_seconds(), 4),
+               Table::num(r.metrics.global_syncs),
                Table::num(r.supersteps)});
     if (kind == engine::EngineKind::kLazyBlock) {
       dist.resize(r.data.size());

@@ -46,11 +46,10 @@ int main(int argc, char** argv) {
                       kind == engine::EngineKind::kLazyVertex;
     sim::Cluster cluster({machines, {}, 0});
     const auto r =
-        engine::run_engine(kind, lazy ? dg_lazy : dg_eager, pr, cluster,
-                           {.graph_ev_ratio = g.edge_vertex_ratio()});
-    t.add_row({to_string(kind), Table::num(cluster.metrics().sim_seconds(), 4),
-               Table::num(cluster.metrics().global_syncs),
-               Table::num(cluster.metrics().network_mb(), 3),
+        engine::run({.kind = kind}, lazy ? dg_lazy : dg_eager, pr, cluster);
+    t.add_row({to_string(kind), Table::num(r.metrics.sim_seconds(), 4),
+               Table::num(r.metrics.global_syncs),
+               Table::num(r.metrics.network_mb(), 3),
                Table::num(r.supersteps)});
     if (kind == engine::EngineKind::kLazyBlock) {
       ranks.resize(r.data.size());

@@ -122,8 +122,12 @@ class AsyncEngine {
       }
 
       cluster_.metrics().applies += applies;
-      cluster_.charge_compute(work);
-      cluster_.charge_fine_grained(bytes, msgs);
+      cluster_.charge_compute(sim::SpanKind::kAsyncRound, work);
+      cluster_.charge_fine_grained(sim::SpanKind::kFineGrained, bytes, msgs);
+      if (sim::Tracer* t = cluster_.tracer()) {
+        t->record_superstep({.superstep = result.supersteps,
+                            .active_vertices = applies});
+      }
       if (!any) {
         result.converged = true;
         break;
@@ -131,6 +135,7 @@ class AsyncEngine {
     }
 
     result.data = collect_master_data(dg_, states_);
+    finalize_result(result, cluster_);
     return result;
   }
 

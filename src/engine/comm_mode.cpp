@@ -11,14 +11,14 @@ const char* to_string(CommModePolicy p) {
   return "?";
 }
 
-sim::CommMode select_comm_mode(CommModePolicy policy,
-                               const sim::NetworkModel& net,
-                               const ExchangeEstimate& est) {
+CommDecision decide_comm_mode(CommModePolicy policy,
+                              const sim::NetworkModel& net,
+                              const ExchangeEstimate& est) {
   switch (policy) {
     case CommModePolicy::kForceAllToAll:
-      return sim::CommMode::kAllToAll;
+      return {sim::CommMode::kAllToAll, {}};
     case CommModePolicy::kForceMirrorsToMaster:
-      return sim::CommMode::kMirrorsToMaster;
+      return {sim::CommMode::kMirrorsToMaster, {}};
     case CommModePolicy::kAdaptive:
       break;
   }
@@ -26,10 +26,13 @@ sim::CommMode select_comm_mode(CommModePolicy policy,
       static_cast<double>(est.a2a_bytes) / (1024.0 * 1024.0);
   const double m2m_mb =
       static_cast<double>(est.m2m_bytes) / (1024.0 * 1024.0);
-  const double t_a2a = net.all_to_all_seconds(a2a_mb);
-  const double t_m2m = net.mirrors_to_master_seconds(m2m_mb);
-  return t_a2a <= t_m2m ? sim::CommMode::kAllToAll
-                        : sim::CommMode::kMirrorsToMaster;
+  CommDecision d;
+  d.prediction.t_a2a_seconds = net.all_to_all_seconds(a2a_mb);
+  d.prediction.t_m2m_seconds = net.mirrors_to_master_seconds(m2m_mb);
+  d.mode = d.prediction.t_a2a_seconds <= d.prediction.t_m2m_seconds
+               ? sim::CommMode::kAllToAll
+               : sim::CommMode::kMirrorsToMaster;
+  return d;
 }
 
 }  // namespace lazygraph::engine

@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "sim/netmodel.hpp"
+#include "sim/trace.hpp"
 
 namespace lazygraph::engine {
 
@@ -25,9 +26,25 @@ struct ExchangeEstimate {
   std::uint64_t m2m_bytes = 0;
 };
 
-/// Selects the communication mode for one coherency exchange.
-sim::CommMode select_comm_mode(CommModePolicy policy,
-                               const sim::NetworkModel& net,
-                               const ExchangeEstimate& est);
+/// One comm-mode selection with its evidence: the chosen pattern and the
+/// fitted-curve predictions it was based on (negative under forced
+/// policies — no prediction was made).
+struct CommDecision {
+  sim::CommMode mode = sim::CommMode::kAllToAll;
+  sim::CommPrediction prediction = {};
+};
+
+/// Selects the communication mode for one coherency exchange, keeping the
+/// predicted t_a2a / t_m2m for observability.
+CommDecision decide_comm_mode(CommModePolicy policy,
+                              const sim::NetworkModel& net,
+                              const ExchangeEstimate& est);
+
+/// Mode-only convenience wrapper around decide_comm_mode.
+inline sim::CommMode select_comm_mode(CommModePolicy policy,
+                                      const sim::NetworkModel& net,
+                                      const ExchangeEstimate& est) {
+  return decide_comm_mode(policy, net, est).mode;
+}
 
 }  // namespace lazygraph::engine

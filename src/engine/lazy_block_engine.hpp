@@ -92,7 +92,7 @@ class LazyBlockAsyncEngine {
             if (work[m] >= budget) break;  // the "3T" bound
           }
         });
-        cluster_.charge_compute(work);
+        cluster_.charge_compute(sim::SpanKind::kLocalStage, work);
         for (machine_t m = 0; m < p; ++m) {
           cluster_.metrics().applies += applies[m];
           cluster_.metrics().local_subiterations += subiters[m];
@@ -100,18 +100,20 @@ class LazyBlockAsyncEngine {
       }
 
       // ---- Stage 2: data coherency. ----
-      exchange_deltas();
+      const CommDecision comm = exchange_deltas();
       cluster_.charge_barrier();  // the single global sync of the iteration
 
       std::uint64_t active = 0;
       for (machine_t m = 0; m < p; ++m) active += states_[m].count_msgs();
       if (active == 0) {
+        record_superstep_snapshot(result.supersteps, active, do_local, comm);
         result.converged = true;
         break;
       }
       // Algorithm 1 line 16: lazy mode is sticky once turned on.
       const bool decision = interval_.turn_on_lazy(active);
       do_local = do_local || decision;
+      record_superstep_snapshot(result.supersteps, active, do_local, comm);
 
       // ---- Coherency point: apply + scatter the merged view. ----
       // Batch (snapshot) semantics per Algorithm 1: every vertex applies its
@@ -124,7 +126,7 @@ class LazyBlockAsyncEngine {
         work[m] = c.work;
         applies[m] = c.applies;
       });
-      cluster_.charge_compute(work);
+      cluster_.charge_compute(sim::SpanKind::kApplySweep, work);
       for (machine_t m = 0; m < p; ++m) cluster_.metrics().applies += applies[m];
 
       // "We collect the execution time T of the first iteration ... online":
@@ -136,18 +138,37 @@ class LazyBlockAsyncEngine {
     }
 
     result.data = collect_master_data(dg_, states_);
+    finalize_result(result, cluster_);
     return result;
   }
 
   const std::vector<PartState<P>>& states() const { return states_; }
 
  private:
+  /// Logs what the adaptive machinery decided this superstep: the interval
+  /// model's verdict and trend, the measured T behind the 3T budget, and the
+  /// comm-mode selection with its fitted-curve predictions.
+  void record_superstep_snapshot(std::uint64_t superstep, std::uint64_t active,
+                                 bool lazy_on, const CommDecision& comm) {
+    sim::Tracer* t = cluster_.tracer();
+    if (!t) return;
+    sim::SuperstepSnapshot snap;
+    snap.superstep = superstep;
+    snap.active_vertices = active;
+    snap.lazy_on = lazy_on;
+    snap.trend = interval_.last_trend();
+    snap.measured_t_seconds = first_iter_seconds_;
+    snap.comm_mode = static_cast<int>(comm.mode);
+    snap.prediction = comm.prediction;
+    t->record_superstep(snap);
+  }
+
   // Exchange_deltaMsgs: estimate both patterns' volumes with the paper's
   // equations, pick a mode, deliver others' deltas into every replica's
   // message slot, clear deltas. Parallelized by master ownership: vertex v is
   // handled exclusively by its master's machine, so all reads/writes of v's
-  // replica slots are race-free.
-  void exchange_deltas() {
+  // replica slots are race-free. Returns the comm-mode decision it made.
+  CommDecision exchange_deltas() {
     const machine_t p = dg_.num_machines();
     constexpr std::uint64_t kDeltaBytes = wire_bytes<typename P::Msg>();
 
@@ -173,8 +194,9 @@ class LazyBlockAsyncEngine {
       est.a2a_bytes += est_a2a[m];
       est.m2m_bytes += est_m2m[m];
     }
-    const sim::CommMode mode =
-        select_comm_mode(opts_.comm_policy, cluster_.net(), est);
+    const CommDecision decision =
+        decide_comm_mode(opts_.comm_policy, cluster_.net(), est);
+    const sim::CommMode mode = decision.mode;
 
     // Pass 2: deliver and clear.
     std::vector<std::uint64_t> msgs(p, 0), bytes(p, 0);
@@ -246,7 +268,9 @@ class LazyBlockAsyncEngine {
       total_msgs += msgs[m];
       total_bytes += bytes[m];
     }
-    cluster_.charge_exchange(mode, total_bytes, total_msgs);
+    cluster_.charge_exchange(sim::SpanKind::kCoherencyExchange, mode,
+                             total_bytes, total_msgs, &decision.prediction);
+    return decision;
   }
 
   const partition::DistributedGraph& dg_;

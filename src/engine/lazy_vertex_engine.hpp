@@ -64,6 +64,8 @@ class LazyVertexAsyncEngine {
       std::fill(work.begin(), work.end(), 0);
       msgs_ = bytes_ = 0;
       bool any = false;
+      std::uint64_t queued = 0;
+      for (machine_t m = 0; m < p; ++m) queued += queues_[m].size();
 
       for (machine_t m = 0; m < p; ++m) {
         // Snapshot the queue length: items pushed during this cycle are
@@ -85,11 +87,17 @@ class LazyVertexAsyncEngine {
           break;
         }
       }
-      cluster_.charge_compute(work);
-      cluster_.charge_fine_grained(bytes_, msgs_);
+      cluster_.charge_compute(sim::SpanKind::kLocalStage, work);
+      cluster_.charge_fine_grained(sim::SpanKind::kCoherencyExchange, bytes_,
+                                   msgs_);
+      if (sim::Tracer* t = cluster_.tracer()) {
+        t->record_superstep({.superstep = result.supersteps,
+                            .active_vertices = queued});
+      }
     }
 
     result.data = collect_master_data(dg_, states_);
+    finalize_result(result, cluster_);
     return result;
   }
 

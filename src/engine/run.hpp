@@ -1,5 +1,8 @@
-// Convenience dispatch used by examples, tests and the benchmark matrix:
-// run any program on any engine by enum.
+// The engine front door: one RunConfig carrying the engine kind, the
+// per-engine knobs, and an optional Tracer, dispatched through
+// engine::run(). Replaces the four parallel option structs callers used to
+// assemble by hand (the old run_engine/EngineOptions entry point remains as
+// a deprecated shim for one release).
 #pragma once
 
 #include <string>
@@ -23,6 +26,76 @@ inline const char* to_string(EngineKind k) {
   return "?";
 }
 
+/// Everything one engine run needs beyond the graph, program and cluster.
+/// Common fields are hoisted; engine-specific knobs apply only to the kind
+/// that reads them and are harmless otherwise.
+struct RunConfig {
+  EngineKind kind = EngineKind::kLazyBlock;
+
+  // --- common ---
+  /// Bound on outer iterations: supersteps (sync/lazy-block), Gauss-Seidel
+  /// rounds (async), queue cycles (lazy-vertex).
+  std::uint64_t max_supersteps = 1'000'000;
+  /// E/V ratio of the user-view graph feeding the adaptive interval model;
+  /// <= 0 derives it from the DistributedGraph's user view.
+  double graph_ev_ratio = 0.0;
+  /// Optional span/snapshot recorder, attached to the cluster for the run.
+  sim::Tracer* tracer = nullptr;
+
+  // --- lazy-block ---
+  IntervalModelConfig interval = {};
+  CommModePolicy comm_policy = CommModePolicy::kAdaptive;
+
+  // --- lazy-vertex ---
+  /// Local applies a spanning replica may perform between coherency events.
+  std::uint32_t staleness = 4;
+};
+
+/// Runs `prog` over `dg` on `cluster` with the engine cfg.kind selects.
+/// All engines return the same RunResult field set; when cfg.tracer is set
+/// it is attached for the duration of the run (restoring any tracer the
+/// cluster already had) and handed back via RunResult::trace.
+template <VertexProgram P>
+RunResult<P> run(const RunConfig& cfg, const partition::DistributedGraph& dg,
+                 const P& prog, sim::Cluster& cluster) {
+  sim::Tracer* const previous = cluster.tracer();
+  if (cfg.tracer) {
+    cluster.set_tracer(cfg.tracer);
+    cfg.tracer->set_run_info(to_string(cfg.kind));
+  }
+  const double ev_ratio =
+      cfg.graph_ev_ratio > 0.0 ? cfg.graph_ev_ratio : dg.user_ev_ratio();
+
+  RunResult<P> result;
+  switch (cfg.kind) {
+    case EngineKind::kSync:
+      result = SyncEngine<P>(dg, prog, cluster, {cfg.max_supersteps}).run();
+      break;
+    case EngineKind::kAsync:
+      result = AsyncEngine<P>(dg, prog, cluster, {cfg.max_supersteps}).run();
+      break;
+    case EngineKind::kLazyBlock:
+      result = LazyBlockAsyncEngine<P>(
+                   dg, prog, cluster,
+                   {cfg.max_supersteps, cfg.interval, cfg.comm_policy},
+                   ev_ratio)
+                   .run();
+      break;
+    case EngineKind::kLazyVertex:
+      result = LazyVertexAsyncEngine<P>(dg, prog, cluster,
+                                        {cfg.max_supersteps, cfg.staleness})
+                   .run();
+      break;
+  }
+  if (cfg.tracer) cluster.set_tracer(previous);
+  return result;
+}
+
+// --------------------------------------------------------------------------
+// Deprecated compatibility shim (one release): the old entry point taking
+// four parallel option structs. Forwards to engine::run().
+// --------------------------------------------------------------------------
+
 struct EngineOptions {
   SyncOptions sync = {};
   AsyncOptions async = {};
@@ -33,23 +106,27 @@ struct EngineOptions {
 };
 
 template <VertexProgram P>
+[[deprecated("assemble an engine::RunConfig and call engine::run()")]]
 RunResult<P> run_engine(EngineKind kind, const partition::DistributedGraph& dg,
                         const P& prog, sim::Cluster& cluster,
                         const EngineOptions& opts = {}) {
+  RunConfig cfg;
+  cfg.kind = kind;
+  cfg.graph_ev_ratio = opts.graph_ev_ratio;
+  cfg.interval = opts.lazy.interval;
+  cfg.comm_policy = opts.lazy.comm_policy;
+  cfg.staleness = opts.lazy_vertex.staleness;
   switch (kind) {
-    case EngineKind::kSync:
-      return SyncEngine<P>(dg, prog, cluster, opts.sync).run();
-    case EngineKind::kAsync:
-      return AsyncEngine<P>(dg, prog, cluster, opts.async).run();
+    case EngineKind::kSync: cfg.max_supersteps = opts.sync.max_supersteps; break;
+    case EngineKind::kAsync: cfg.max_supersteps = opts.async.max_rounds; break;
     case EngineKind::kLazyBlock:
-      return LazyBlockAsyncEngine<P>(dg, prog, cluster, opts.lazy,
-                                     opts.graph_ev_ratio)
-          .run();
+      cfg.max_supersteps = opts.lazy.max_supersteps;
+      break;
     case EngineKind::kLazyVertex:
-      return LazyVertexAsyncEngine<P>(dg, prog, cluster, opts.lazy_vertex)
-          .run();
+      cfg.max_supersteps = opts.lazy_vertex.max_cycles;
+      break;
   }
-  throw std::invalid_argument("run_engine: bad engine kind");
+  return run(cfg, dg, prog, cluster);
 }
 
 }  // namespace lazygraph::engine

@@ -8,6 +8,7 @@
 
 #include "engine/program.hpp"
 #include "partition/dgraph.hpp"
+#include "sim/cluster.hpp"
 
 namespace lazygraph::engine {
 
@@ -106,12 +107,25 @@ std::vector<typename P::VData> collect_master_data(
   return out;
 }
 
-/// Result of one engine run.
+/// Result of one engine run. The field set is identical across all four
+/// engines, so harnesses never special-case engine kinds.
 template <VertexProgram P>
 struct RunResult {
   std::vector<typename P::VData> data;  // per global vertex
   bool converged = false;
   std::uint64_t supersteps = 0;
+  /// Snapshot of the cluster's metrics at run end (the run may share the
+  /// cluster with later runs; this freezes its own totals).
+  sim::SimMetrics metrics = {};
+  /// The tracer the run recorded into, if one was attached (not owned).
+  const sim::Tracer* trace = nullptr;
 };
+
+/// Stamps the unified trailing fields every engine fills the same way.
+template <VertexProgram P>
+void finalize_result(RunResult<P>& result, const sim::Cluster& cluster) {
+  result.metrics = cluster.metrics();
+  result.trace = cluster.tracer();
+}
 
 }  // namespace lazygraph::engine

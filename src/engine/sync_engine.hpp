@@ -91,8 +91,9 @@ class SyncEngine {
         total_gather += gather_msgs[m];
         work[m] = gather_work[m].load(std::memory_order_relaxed);
       }
-      cluster_.charge_compute(work);
-      cluster_.charge_exchange(sim::CommMode::kAllToAll,
+      cluster_.charge_compute(sim::SpanKind::kEagerGather, work);
+      cluster_.charge_exchange(sim::SpanKind::kEagerGather,
+                               sim::CommMode::kAllToAll,
                                total_gather * wire_bytes<typename P::Msg>(),
                                total_gather);
       cluster_.charge_barrier();  // sync #1
@@ -135,7 +136,7 @@ class SyncEngine {
       }
       cluster_.metrics().applies += total_applies;
       cluster_.charge_exchange(
-          sim::CommMode::kAllToAll,
+          sim::SpanKind::kEagerBroadcast, sim::CommMode::kAllToAll,
           total_bcast * wire_bytes<typename P::VData>() +
               total_payloads * sizeof(typename P::Scatter),
           total_bcast);
@@ -159,12 +160,16 @@ class SyncEngine {
           }
         }
       });
-      cluster_.charge_compute(work);
+      cluster_.charge_compute(sim::SpanKind::kEagerScatter, work);
       cluster_.charge_barrier();  // sync #3
 
       // --- Global termination test: any message pending anywhere? ---
       std::uint64_t active = 0;
       for (machine_t m = 0; m < p; ++m) active += states_[m].count_msgs();
+      if (sim::Tracer* t = cluster_.tracer()) {
+        t->record_superstep({.superstep = result.supersteps,
+                            .active_vertices = active});
+      }
       if (active == 0) {
         result.converged = true;
         break;
@@ -172,6 +177,7 @@ class SyncEngine {
     }
 
     result.data = collect_master_data(dg_, states_);
+    finalize_result(result, cluster_);
     return result;
   }
 

@@ -10,9 +10,8 @@
 //   auto dg = partition::DistributedGraph::build(g, 8, assign);
 //   sim::Cluster cluster({.machines = 8});
 //   algos::PageRankDelta pr{.tol = 1e-3};
-//   auto result = engine::run_engine(engine::EngineKind::kLazyBlock, dg, pr,
-//                                    cluster,
-//                                    {.graph_ev_ratio = g.edge_vertex_ratio()});
+//   auto result = engine::run({.kind = engine::EngineKind::kLazyBlock},
+//                             dg, pr, cluster);
 #pragma once
 
 #include "algos/bfs.hpp"
@@ -32,6 +31,7 @@
 #include "partition/edge_splitter.hpp"
 #include "partition/partitioner.hpp"
 #include "sim/cluster.hpp"
+#include "sim/trace.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"

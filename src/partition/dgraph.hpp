@@ -72,6 +72,17 @@ class DistributedGraph {
   std::uint64_t parallel_edge_copies() const { return parallel_copies_; }
   /// Total local edges over all machines.
   std::uint64_t total_local_edges() const;
+  /// Edges of the user-view graph this partition was built from (local edge
+  /// copies minus the parallel-edges duplicates).
+  std::uint64_t num_user_edges() const {
+    return total_local_edges() - parallel_copies_;
+  }
+  /// E/V ratio of the user-view graph; feeds the adaptive interval model.
+  double user_ev_ratio() const {
+    return num_global_ == 0 ? 0.0
+                            : static_cast<double>(num_user_edges()) /
+                                  static_cast<double>(num_global_);
+  }
 
  private:
   vid_t num_global_ = 0;

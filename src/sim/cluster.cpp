@@ -21,24 +21,56 @@ void Cluster::parallel_machines(const std::function<void(machine_t)>& body) {
   }
 }
 
+TraceSpan Cluster::make_span(SpanKind kind, double start_seconds) const {
+  TraceSpan span;
+  span.kind = kind;
+  span.superstep = metrics_.supersteps;
+  span.start_seconds = start_seconds;
+  span.duration_seconds = metrics_.sim_seconds() - start_seconds;
+  return span;
+}
+
 void Cluster::charge_compute(
-    std::span<const std::uint64_t> traversals_per_machine) {
+    SpanKind kind, std::span<const std::uint64_t> traversals_per_machine) {
   std::uint64_t max_work = 0, total = 0;
+  std::uint64_t min_work = traversals_per_machine.empty()
+                               ? 0
+                               : traversals_per_machine.front();
   for (const std::uint64_t w : traversals_per_machine) {
     max_work = std::max(max_work, w);
+    min_work = std::min(min_work, w);
     total += w;
   }
+  const double start = metrics_.sim_seconds();
   metrics_.edge_traversals += total;
   metrics_.compute_seconds += net_.compute_seconds(max_work);
+  if (tracer_) {
+    TraceSpan span = make_span(kind, start);
+    span.machines = static_cast<std::uint32_t>(traversals_per_machine.size());
+    span.min_work = min_work;
+    span.max_work = max_work;
+    span.mean_work = span.machines > 0
+                         ? static_cast<double>(total) / span.machines
+                         : 0.0;
+    tracer_->record_span(span);
+  }
 }
 
-void Cluster::charge_barrier() {
+void Cluster::charge_barrier(SpanKind kind) {
+  const double start = metrics_.sim_seconds();
   ++metrics_.global_syncs;
   metrics_.barrier_seconds += net_.barrier_seconds(machines_);
+  if (tracer_) {
+    TraceSpan span = make_span(kind, start);
+    span.machines = machines_;
+    tracer_->record_span(span);
+  }
 }
 
-void Cluster::charge_exchange(CommMode mode, std::uint64_t bytes,
-                              std::uint64_t messages) {
+void Cluster::charge_exchange(SpanKind kind, CommMode mode,
+                              std::uint64_t bytes, std::uint64_t messages,
+                              const CommPrediction* prediction) {
+  const double start = metrics_.sim_seconds();
   metrics_.network_bytes += bytes;
   metrics_.network_messages += messages;
   if (mode == CommMode::kAllToAll) {
@@ -48,10 +80,19 @@ void Cluster::charge_exchange(CommMode mode, std::uint64_t bytes,
   }
   const double mb = static_cast<double>(bytes) / (1024.0 * 1024.0);
   metrics_.comm_seconds += net_.comm_seconds(mode, mb);
+  if (tracer_) {
+    TraceSpan span = make_span(kind, start);
+    span.bytes = bytes;
+    span.messages = messages;
+    span.comm_mode = static_cast<int>(mode);
+    if (prediction) span.prediction = *prediction;
+    tracer_->record_span(span);
+  }
 }
 
-void Cluster::charge_fine_grained(std::uint64_t bytes,
+void Cluster::charge_fine_grained(SpanKind kind, std::uint64_t bytes,
                                   std::uint64_t messages) {
+  const double start = metrics_.sim_seconds();
   metrics_.network_bytes += bytes;
   metrics_.network_messages += messages;
   const double mb = static_cast<double>(bytes) / (1024.0 * 1024.0) *
@@ -59,6 +100,12 @@ void Cluster::charge_fine_grained(std::uint64_t bytes,
   metrics_.comm_seconds += mb / net_.aggregate_bandwidth_mb_per_s();
   metrics_.overhead_seconds +=
       net_.message_overhead_seconds(messages, machines_);
+  if (tracer_) {
+    TraceSpan span = make_span(kind, start);
+    span.bytes = bytes;
+    span.messages = messages;
+    tracer_->record_span(span);
+  }
 }
 
 }  // namespace lazygraph::sim

@@ -15,6 +15,7 @@
 
 #include "sim/metrics.hpp"
 #include "sim/netmodel.hpp"
+#include "sim/trace.hpp"
 #include "util/threadpool.hpp"
 
 namespace lazygraph::sim {
@@ -37,31 +38,56 @@ class Cluster {
   const SimMetrics& metrics() const { return metrics_; }
   void reset_metrics() { metrics_ = SimMetrics{}; }
 
+  /// Attaches (or detaches, with nullptr) a span recorder. Every charge_*
+  /// call appends exactly one span while a tracer is attached; a null
+  /// tracer costs one branch per charge and allocates nothing.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+
   /// Runs body(m) for every machine m, in parallel across the pool.
   /// body must only touch machine-m state.
   void parallel_machines(const std::function<void(machine_t)>& body);
 
   /// Charges compute time for one stage: max over machines of the given
   /// per-machine edge-traversal counts, at TEPS. Also accumulates the raw
-  /// traversal counter.
-  void charge_compute(std::span<const std::uint64_t> traversals_per_machine);
+  /// traversal counter. The kinded overload labels the stage's span.
+  void charge_compute(SpanKind kind,
+                      std::span<const std::uint64_t> traversals_per_machine);
+  void charge_compute(std::span<const std::uint64_t> traversals_per_machine) {
+    charge_compute(SpanKind::kCompute, traversals_per_machine);
+  }
 
   /// Charges one global synchronization (barrier) across all machines.
-  void charge_barrier();
+  void charge_barrier(SpanKind kind = SpanKind::kBarrier);
 
   /// Charges a replica-exchange collective: `bytes` total network bytes in
-  /// `messages` point-to-point messages using `mode`.
+  /// `messages` point-to-point messages using `mode`. `prediction`, when
+  /// given, attaches the comm-mode selector's fitted-curve estimates to the
+  /// span (coherency exchanges).
+  void charge_exchange(SpanKind kind, CommMode mode, std::uint64_t bytes,
+                       std::uint64_t messages,
+                       const CommPrediction* prediction = nullptr);
   void charge_exchange(CommMode mode, std::uint64_t bytes,
-                       std::uint64_t messages);
+                       std::uint64_t messages) {
+    charge_exchange(SpanKind::kExchange, mode, bytes, messages);
+  }
 
-  /// Charges fine-grained eager traffic (async engine): per-message overhead
-  /// plus bandwidth, no barrier.
-  void charge_fine_grained(std::uint64_t bytes, std::uint64_t messages);
+  /// Charges fine-grained eager traffic (async engines): per-message
+  /// overhead plus bandwidth, no barrier.
+  void charge_fine_grained(SpanKind kind, std::uint64_t bytes,
+                           std::uint64_t messages);
+  void charge_fine_grained(std::uint64_t bytes, std::uint64_t messages) {
+    charge_fine_grained(SpanKind::kFineGrained, bytes, messages);
+  }
 
  private:
+  /// Stamps the fields common to every span (superstep, start, duration).
+  TraceSpan make_span(SpanKind kind, double start_seconds) const;
+
   machine_t machines_;
   NetworkModel net_;
   SimMetrics metrics_;
+  Tracer* tracer_ = nullptr;          // not owned; null = tracing off
   std::unique_ptr<ThreadPool> pool_;  // null when threads == 1
 };
 

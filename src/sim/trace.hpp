@@ -1,0 +1,132 @@
+// Run-wide observability: a timeline of typed spans plus per-superstep
+// decision snapshots, recorded by the Cluster charge helpers and the engines.
+//
+// Every simulated second charged to SimMetrics flows through exactly one
+// charge_* helper, and each helper appends exactly one span when a Tracer is
+// attached — so sum(span.duration_seconds) == SimMetrics::sim_seconds() by
+// construction. Spans carry per-machine compute skew (min/max/mean work),
+// traffic volume, and — for coherency exchanges — the comm-mode decision
+// (predicted t_a2a vs t_m2m from the fitted curves). Superstep snapshots
+// record what the adaptive machinery decided and why (active-vertex count,
+// interval-model trend, measured T).
+//
+// Tracing is strictly opt-in: a null Tracer* costs one branch per charge and
+// allocates nothing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace lazygraph::sim {
+
+/// What protocol stage a span accounts for. The eager kinds mirror the
+/// Sync/Async GAS phases; the lazy kinds mirror Algorithm 1/2's stages.
+enum class SpanKind : std::uint8_t {
+  kLocalStage,         // lazy Stage 1: machine-local apply+scatter sweeps
+  kApplySweep,         // coherency-point apply+scatter of the merged view
+  kCoherencyExchange,  // replica delta exchange (lazy Stage 2)
+  kBarrier,            // one global synchronization
+  kEagerGather,        // eager gather: mirror accumulator -> master
+  kEagerBroadcast,     // eager apply: master vdata -> mirrors
+  kEagerScatter,       // eager scatter along local out-edges
+  kAsyncRound,         // one Gauss-Seidel round of the async engine
+  kFineGrained,        // fine-grained traffic (per-message overhead path)
+  kCompute,            // generic compute charge (untyped callers)
+  kExchange,           // generic exchange charge (untyped callers)
+};
+
+const char* to_string(SpanKind k);
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+SpanKind span_kind_from_string(const std::string& s);
+
+/// Predicted collective times for one coherency exchange, from the fitted
+/// t_a2a / t_m2m curves. Negative = not predicted (forced mode or n/a).
+struct CommPrediction {
+  double t_a2a_seconds = -1.0;
+  double t_m2m_seconds = -1.0;
+
+  bool operator==(const CommPrediction&) const = default;
+};
+
+/// One charged interval of simulated time.
+struct TraceSpan {
+  SpanKind kind = SpanKind::kCompute;
+  std::uint64_t superstep = 0;     // engine superstep at charge time
+  double start_seconds = 0.0;      // SimMetrics::sim_seconds() before charge
+  double duration_seconds = 0.0;   // simulated seconds this charge added
+
+  // Per-machine compute skew (compute spans; machines == 0 otherwise).
+  std::uint32_t machines = 0;
+  std::uint64_t min_work = 0;
+  std::uint64_t max_work = 0;
+  double mean_work = 0.0;
+
+  // Traffic (communication spans).
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;
+
+  // Comm-mode decision (coherency exchanges; -1 = no mode involved).
+  int comm_mode = -1;  // static_cast<int>(sim::CommMode) when >= 0
+  CommPrediction prediction = {};
+
+  bool operator==(const TraceSpan&) const = default;
+};
+
+/// What the adaptive machinery decided at one coherency point.
+struct SuperstepSnapshot {
+  std::uint64_t superstep = 0;
+  std::uint64_t active_vertices = 0;
+  bool lazy_on = false;          // interval model: next interval runs Stage 1
+  double trend = 0.0;            // (active[t-1] - active[t]) / active[t-1]
+  double measured_t_seconds = 0.0;  // the "T" calibrating the 3T budget
+  int comm_mode = -1;            // mode chosen this superstep (-1 = none)
+  CommPrediction prediction = {};
+
+  bool operator==(const SuperstepSnapshot&) const = default;
+};
+
+class Tracer {
+ public:
+  void set_run_info(std::string engine, std::string algo = "");
+  const std::string& engine() const { return engine_; }
+  const std::string& algo() const { return algo_; }
+
+  void record_span(const TraceSpan& s) { spans_.push_back(s); }
+  void record_superstep(const SuperstepSnapshot& s) { snapshots_.push_back(s); }
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  const std::vector<SuperstepSnapshot>& snapshots() const { return snapshots_; }
+  void clear();
+
+  /// Sum of all span durations; equals SimMetrics::sim_seconds() of the run
+  /// the tracer was attached to.
+  double total_span_seconds() const;
+
+  // --- export ---
+  /// One JSON object per line: a "run" header, then "span" / "superstep"
+  /// records in timeline order.
+  void write_jsonl(std::ostream& os) const;
+  /// Parses write_jsonl output back (exact round-trip).
+  static Tracer read_jsonl(std::istream& is);
+
+  /// Full timeline as an aligned table.
+  Table spans_table() const;
+  /// The k most expensive spans by duration (ties broken by timeline order).
+  Table top_spans_table(std::size_t k) const;
+  /// Aggregate per span kind: count, seconds, share, traffic.
+  Table kind_summary_table() const;
+  /// The per-superstep decision log.
+  Table supersteps_table() const;
+
+ private:
+  std::string engine_;
+  std::string algo_;
+  std::vector<TraceSpan> spans_;
+  std::vector<SuperstepSnapshot> snapshots_;
+};
+
+}  // namespace lazygraph::sim

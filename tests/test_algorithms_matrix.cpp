@@ -26,22 +26,15 @@ std::string config_name(const ::testing::TestParamInfo<Config>& info) {
   return s;
 }
 
-class AlgoMatrix : public ::testing::TestWithParam<Config> {
- protected:
-  engine::EngineOptions opts_for(const Graph& g) const {
-    engine::EngineOptions o;
-    o.graph_ev_ratio = g.edge_vertex_ratio();
-    return o;
-  }
-};
+class AlgoMatrix : public ::testing::TestWithParam<Config> {};
 
 TEST_P(AlgoMatrix, Sssp) {
   const auto [kind, cut, machines] = GetParam();
   const Graph g = gen::rmat(8, 6, 0.55, 0.2, 0.2, 101, {1.0f, 9.0f});
   const auto dg = build_dgraph(g, machines, cut);
   auto cl = make_cluster(machines);
-  const auto r = engine::run_engine(kind, dg, algos::SSSP{.source = 0}, cl,
-                                    opts_for(g));
+  const auto r =
+      engine::run({.kind = kind}, dg, algos::SSSP{.source = 0}, cl);
   ASSERT_TRUE(r.converged);
   testsupport::expect_sssp_exact(g, 0, r.data);
 }
@@ -52,7 +45,7 @@ TEST_P(AlgoMatrix, Bfs) {
   const auto dg = build_dgraph(g, machines, cut);
   auto cl = make_cluster(machines);
   const auto r =
-      engine::run_engine(kind, dg, algos::BFS{.source = 5}, cl, opts_for(g));
+      engine::run({.kind = kind}, dg, algos::BFS{.source = 5}, cl);
   ASSERT_TRUE(r.converged);
   const auto expect = reference::bfs(g, 5);
   for (vid_t v = 0; v < g.num_vertices(); ++v) {
@@ -65,8 +58,8 @@ TEST_P(AlgoMatrix, Cc) {
   const Graph g = gen::erdos_renyi(350, 600, 107).symmetrized();
   const auto dg = build_dgraph(g, machines, cut);
   auto cl = make_cluster(machines);
-  const auto r = engine::run_engine(kind, dg, algos::ConnectedComponents{},
-                                    cl, opts_for(g));
+  const auto r =
+      engine::run({.kind = kind}, dg, algos::ConnectedComponents{}, cl);
   ASSERT_TRUE(r.converged);
   testsupport::expect_cc_exact(g, r.data);
 }
@@ -77,7 +70,7 @@ TEST_P(AlgoMatrix, Kcore) {
   const auto dg = build_dgraph(g, machines, cut);
   auto cl = make_cluster(machines);
   const auto r =
-      engine::run_engine(kind, dg, algos::KCore{.k = 4}, cl, opts_for(g));
+      engine::run({.kind = kind}, dg, algos::KCore{.k = 4}, cl);
   ASSERT_TRUE(r.converged);
   testsupport::expect_kcore_exact(g, 4, r.data);
 }
@@ -88,7 +81,7 @@ TEST_P(AlgoMatrix, Pagerank) {
   const auto dg = build_dgraph(g, machines, cut);
   auto cl = make_cluster(machines);
   const algos::PageRankDelta pr{.tol = 1e-4};
-  const auto r = engine::run_engine(kind, dg, pr, cl, opts_for(g));
+  const auto r = engine::run({.kind = kind}, dg, pr, cl);
   ASSERT_TRUE(r.converged);
   testsupport::expect_pagerank_close(g, r.data, 1e-4);
 }

@@ -32,8 +32,8 @@ TEST(EnginesSmoke, SsspMatchesDijkstraOnAllEngines) {
   const auto expect = reference::sssp(s.g, 0);
   for (const EngineKind kind : kEngines) {
     s.cluster.reset_metrics();
-    const auto r = engine::run_engine(kind, s.dg, algos::SSSP{.source = 0},
-                                      s.cluster);
+    const auto r =
+        engine::run({.kind = kind}, s.dg, algos::SSSP{.source = 0}, s.cluster);
     ASSERT_TRUE(r.converged) << to_string(kind);
     for (vid_t v = 0; v < s.g.num_vertices(); ++v) {
       EXPECT_DOUBLE_EQ(r.data[v].dist, expect[v])
@@ -46,8 +46,8 @@ TEST(EnginesSmoke, CcMatchesUnionFindOnAllEngines) {
   Harness s(gen::erdos_renyi(300, 500, 13), 4, /*symmetrize=*/true);
   const auto expect = reference::connected_components(s.g);
   for (const EngineKind kind : kEngines) {
-    const auto r = engine::run_engine(kind, s.dg,
-                                      algos::ConnectedComponents{}, s.cluster);
+    const auto r = engine::run({.kind = kind}, s.dg,
+                               algos::ConnectedComponents{}, s.cluster);
     ASSERT_TRUE(r.converged) << to_string(kind);
     for (vid_t v = 0; v < s.g.num_vertices(); ++v) {
       EXPECT_EQ(r.data[v].label, expect[v])
@@ -61,7 +61,7 @@ TEST(EnginesSmoke, KcoreMatchesPeelingOnAllEngines) {
   const auto expect = reference::kcore(s.g, 4);
   for (const EngineKind kind : kEngines) {
     const auto r =
-        engine::run_engine(kind, s.dg, algos::KCore{.k = 4}, s.cluster);
+        engine::run({.kind = kind}, s.dg, algos::KCore{.k = 4}, s.cluster);
     ASSERT_TRUE(r.converged) << to_string(kind);
     for (vid_t v = 0; v < s.g.num_vertices(); ++v) {
       EXPECT_EQ(!r.data[v].deleted, expect[v])
@@ -75,8 +75,8 @@ TEST(EnginesSmoke, PagerankCloseToPowerIterationOnAllEngines) {
   const double tol = 1e-4;
   const auto expect = reference::pagerank(s.g, 1e-12, 1000);
   for (const EngineKind kind : kEngines) {
-    const auto r = engine::run_engine(
-        kind, s.dg, algos::PageRankDelta{.tol = tol}, s.cluster);
+    const auto r = engine::run({.kind = kind}, s.dg,
+                               algos::PageRankDelta{.tol = tol}, s.cluster);
     ASSERT_TRUE(r.converged) << to_string(kind);
     for (vid_t v = 0; v < s.g.num_vertices(); ++v) {
       // Residual mass below `tol` may remain unpropagated per vertex; allow
@@ -92,7 +92,7 @@ TEST(EnginesSmoke, BfsMatchesReferenceOnAllEngines) {
   const auto expect = reference::bfs(s.g, 3);
   for (const EngineKind kind : kEngines) {
     const auto r =
-        engine::run_engine(kind, s.dg, algos::BFS{.source = 3}, s.cluster);
+        engine::run({.kind = kind}, s.dg, algos::BFS{.source = 3}, s.cluster);
     ASSERT_TRUE(r.converged) << to_string(kind);
     for (vid_t v = 0; v < s.g.num_vertices(); ++v) {
       EXPECT_EQ(r.data[v].depth, expect[v])
@@ -104,16 +104,52 @@ TEST(EnginesSmoke, BfsMatchesReferenceOnAllEngines) {
 TEST(EnginesSmoke, LazyUsesFewerSyncsThanSync) {
   Harness s(gen::road_lattice(30, 30, 0.2, 29, {1.0f, 5.0f}), 8);
   s.cluster.reset_metrics();
-  (void)engine::run_engine(EngineKind::kSync, s.dg,
-                           algos::SSSP{.source = 0}, s.cluster);
-  const auto sync_syncs = s.cluster.metrics().global_syncs;
+  const auto sync_r = engine::run({.kind = EngineKind::kSync}, s.dg,
+                                  algos::SSSP{.source = 0}, s.cluster);
   s.cluster.reset_metrics();
-  (void)engine::run_engine(EngineKind::kLazyBlock, s.dg,
-                           algos::SSSP{.source = 0}, s.cluster,
-                           {.graph_ev_ratio = s.g.edge_vertex_ratio()});
-  const auto lazy_syncs = s.cluster.metrics().global_syncs;
-  EXPECT_LT(lazy_syncs, sync_syncs);
+  const auto lazy_r = engine::run({.kind = EngineKind::kLazyBlock}, s.dg,
+                                  algos::SSSP{.source = 0}, s.cluster);
+  EXPECT_LT(lazy_r.metrics.global_syncs, sync_r.metrics.global_syncs);
 }
+
+TEST(EnginesSmoke, UnifiedResultCarriesMetricsSnapshot) {
+  Harness s(gen::erdos_renyi(100, 400, 3), 4);
+  for (const EngineKind kind : kEngines) {
+    s.cluster.reset_metrics();
+    const auto r = engine::run({.kind = kind}, s.dg,
+                               algos::PageRankDelta{}, s.cluster);
+    EXPECT_EQ(r.metrics.sim_seconds(), s.cluster.metrics().sim_seconds())
+        << to_string(kind);
+    EXPECT_EQ(r.metrics.supersteps, r.supersteps) << to_string(kind);
+    EXPECT_EQ(r.trace, nullptr) << to_string(kind);  // no tracer attached
+  }
+}
+
+// The one-release compatibility shim must behave exactly like the new entry
+// point (bit-identical results and metrics).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(EnginesSmoke, DeprecatedRunEngineShimMatchesRun) {
+  Harness s(gen::erdos_renyi(120, 500, 31, {1.0f, 4.0f}), 4);
+  engine::EngineOptions opts;
+  opts.graph_ev_ratio = s.g.edge_vertex_ratio();
+  const auto old_r = engine::run_engine(EngineKind::kLazyBlock, s.dg,
+                                        algos::SSSP{.source = 0}, s.cluster,
+                                        opts);
+  s.cluster.reset_metrics();
+  const auto new_r =
+      engine::run({.kind = EngineKind::kLazyBlock,
+                   .graph_ev_ratio = s.g.edge_vertex_ratio()},
+                  s.dg, algos::SSSP{.source = 0}, s.cluster);
+  ASSERT_EQ(old_r.data.size(), new_r.data.size());
+  for (std::size_t v = 0; v < old_r.data.size(); ++v) {
+    EXPECT_EQ(old_r.data[v].dist, new_r.data[v].dist);
+  }
+  EXPECT_EQ(old_r.supersteps, new_r.supersteps);
+  EXPECT_EQ(old_r.metrics.network_bytes, new_r.metrics.network_bytes);
+  EXPECT_EQ(old_r.metrics.global_syncs, new_r.metrics.global_syncs);
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace lazygraph

@@ -64,9 +64,8 @@ TEST_P(ExtraAlgoEngines, WidestPathExact) {
   const Graph g = gen::erdos_renyi(250, 1500, 71, {1.0f, 20.0f});
   const auto dg = build_dgraph(g, 8);
   auto cl = make_cluster(8);
-  const auto r = engine::run_engine(GetParam(), dg,
-                                    algos::WidestPath{.source = 0}, cl,
-                                    {.graph_ev_ratio = g.edge_vertex_ratio()});
+  const auto r = engine::run({.kind = GetParam()}, dg,
+                             algos::WidestPath{.source = 0}, cl);
   ASSERT_TRUE(r.converged);
   const auto expect = reference::widest_path(g, 0);
   for (vid_t v = 0; v < g.num_vertices(); ++v) {
@@ -81,8 +80,7 @@ TEST_P(ExtraAlgoEngines, LinearDiffusionWithinTolerance) {
   const algos::LinearDiffusion prog{
       .alpha = 0.6, .base_bias = 0.1, .seed = 7, .seed_bias = 5.0,
       .tol = 1e-8};
-  const auto r = engine::run_engine(GetParam(), dg, prog, cl,
-                                    {.graph_ev_ratio = g.edge_vertex_ratio()});
+  const auto r = engine::run({.kind = GetParam()}, dg, prog, cl);
   ASSERT_TRUE(r.converged);
   std::vector<double> bias(g.num_vertices(), 0.1);
   bias[7] += 5.0;
@@ -110,9 +108,8 @@ TEST(ExtraAlgos, DiffusionLazyBeatsSyncOnSyncs) {
   auto cl_sync = make_cluster(16);
   auto cl_lazy = make_cluster(16);
   const algos::LinearDiffusion prog{.alpha = 0.7, .seed = 1, .seed_bias = 10.0};
-  (void)engine::run_engine(EngineKind::kSync, dg, prog, cl_sync);
-  (void)engine::run_engine(EngineKind::kLazyBlock, dg, prog, cl_lazy,
-                           {.graph_ev_ratio = g.edge_vertex_ratio()});
+  (void)engine::run({.kind = EngineKind::kSync}, dg, prog, cl_sync);
+  (void)engine::run({.kind = EngineKind::kLazyBlock}, dg, prog, cl_lazy);
   EXPECT_LT(cl_lazy.metrics().global_syncs, cl_sync.metrics().global_syncs);
 }
 

@@ -28,9 +28,8 @@ TEST(Integration, FullPipelineOnRoadAnalogue) {
   const auto dg = partition::DistributedGraph::build(g, p, assignment, split);
   auto cl = make_cluster(p);
   const vid_t source = g.num_vertices() / 2;
-  const auto r = engine::run_engine(EngineKind::kLazyBlock, dg,
-                                    algos::SSSP{.source = source}, cl,
-                                    {.graph_ev_ratio = g.edge_vertex_ratio()});
+  const auto r = engine::run({.kind = EngineKind::kLazyBlock}, dg,
+                             algos::SSSP{.source = source}, cl);
   ASSERT_TRUE(r.converged);
   testsupport::expect_sssp_exact(g, source, r.data);
 }
@@ -40,9 +39,8 @@ TEST(Integration, FullPipelineOnSocialAnalogue) {
   const machine_t p = 24;
   const auto dg = build_dgraph(g, p);
   auto cl = make_cluster(p);
-  const auto r = engine::run_engine(EngineKind::kLazyBlock, dg,
-                                    algos::KCore{.k = 4}, cl,
-                                    {.graph_ev_ratio = g.edge_vertex_ratio()});
+  const auto r = engine::run({.kind = EngineKind::kLazyBlock}, dg,
+                             algos::KCore{.k = 4}, cl);
   ASSERT_TRUE(r.converged);
   testsupport::expect_kcore_exact(g, 4, r.data);
 }
@@ -53,8 +51,7 @@ TEST(Integration, FullPipelineOnWebAnalogue) {
   const auto dg = build_dgraph(g, p);
   auto cl = make_cluster(p);
   const algos::PageRankDelta pr{.tol = 1e-4};
-  const auto r = engine::run_engine(EngineKind::kLazyBlock, dg, pr, cl,
-                                    {.graph_ev_ratio = g.edge_vertex_ratio()});
+  const auto r = engine::run({.kind = EngineKind::kLazyBlock}, dg, pr, cl);
   ASSERT_TRUE(r.converged);
   testsupport::expect_pagerank_close(g, r.data, 1e-4);
 }
@@ -75,24 +72,18 @@ TEST_P(HeadlineClaims, LazyReducesSyncsAndTraffic) {
     const auto dg = build_dgraph(g, p);
     auto cl_sync = make_cluster(p);
     auto cl_lazy = make_cluster(p);
-    const engine::EngineOptions opts{.graph_ev_ratio = g.edge_vertex_ratio()};
     auto run = [&](EngineKind kind, sim::Cluster& cl) {
+      const engine::RunConfig cfg{.kind = kind};
       switch (algo) {
         case 0:
-          return engine::run_engine(kind, dg, algos::SSSP{.source = 0}, cl,
-                                    opts)
-              .converged;
+          return engine::run(cfg, dg, algos::SSSP{.source = 0}, cl).converged;
         case 1:
-          return engine::run_engine(kind, dg, algos::PageRankDelta{}, cl,
-                                    opts)
-              .converged;
+          return engine::run(cfg, dg, algos::PageRankDelta{}, cl).converged;
         case 2:
-          return engine::run_engine(kind, dg, algos::ConnectedComponents{},
-                                    cl, opts)
+          return engine::run(cfg, dg, algos::ConnectedComponents{}, cl)
               .converged;
         default:
-          return engine::run_engine(kind, dg, algos::KCore{.k = 4}, cl, opts)
-              .converged;
+          return engine::run(cfg, dg, algos::KCore{.k = 4}, cl).converged;
       }
     };
     ASSERT_TRUE(run(EngineKind::kSync, cl_sync)) << "algo " << algo;
@@ -124,11 +115,9 @@ TEST(Integration, ThreadedAndSerialClustersAgreeBitExact) {
   const auto dg = build_dgraph(g, 12);
   sim::Cluster serial({12, {}, /*threads=*/1});
   sim::Cluster threaded({12, {}, /*threads=*/4});
-  const engine::EngineOptions opts{.graph_ev_ratio = g.edge_vertex_ratio()};
-  const auto a = engine::run_engine(EngineKind::kLazyBlock, dg,
-                                    algos::PageRankDelta{}, serial, opts);
-  const auto b = engine::run_engine(EngineKind::kLazyBlock, dg,
-                                    algos::PageRankDelta{}, threaded, opts);
+  const engine::RunConfig cfg{.kind = EngineKind::kLazyBlock};
+  const auto a = engine::run(cfg, dg, algos::PageRankDelta{}, serial);
+  const auto b = engine::run(cfg, dg, algos::PageRankDelta{}, threaded);
   ASSERT_TRUE(a.converged && b.converged);
   for (vid_t v = 0; v < g.num_vertices(); ++v) {
     EXPECT_EQ(a.data[v].rank, b.data[v].rank) << "thread-count changed result";
@@ -144,9 +133,8 @@ TEST(Integration, GraphRoundTripThroughIoThenSolve) {
   const Graph loaded = io::read_binary(ss);
   const auto dg = build_dgraph(loaded, 8);
   auto cl = make_cluster(8);
-  const auto r = engine::run_engine(EngineKind::kLazyBlock, dg,
-                                    algos::SSSP{.source = 0}, cl,
-                                    {.graph_ev_ratio = g.edge_vertex_ratio()});
+  const auto r = engine::run({.kind = EngineKind::kLazyBlock}, dg,
+                             algos::SSSP{.source = 0}, cl);
   ASSERT_TRUE(r.converged);
   testsupport::expect_sssp_exact(g, 0, r.data);
 }

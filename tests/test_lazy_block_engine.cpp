@@ -8,10 +8,15 @@ namespace {
 using testsupport::build_dgraph;
 using testsupport::make_cluster;
 
-engine::EngineOptions lazy_opts(const Graph& g,
-                                engine::IntervalPolicy policy =
-                                    engine::IntervalPolicy::kAdaptive) {
-  engine::EngineOptions o;
+struct LazyParams {
+  engine::LazyOptions lazy;
+  double graph_ev_ratio = 0.0;
+};
+
+LazyParams lazy_opts(const Graph& g,
+                     engine::IntervalPolicy policy =
+                         engine::IntervalPolicy::kAdaptive) {
+  LazyParams o;
   o.graph_ev_ratio = g.edge_vertex_ratio();
   o.lazy.interval.policy = policy;
   return o;

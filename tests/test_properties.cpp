@@ -27,12 +27,10 @@ TEST_P(SeedSweep, LazyEqualsSyncSsspBitExact) {
   const vid_t source = static_cast<vid_t>(rng.below(n));
   auto cl1 = make_cluster(machines);
   auto cl2 = make_cluster(machines);
-  const auto a =
-      engine::run_engine(EngineKind::kSync, dg, algos::SSSP{.source = source},
-                         cl1);
-  const auto b = engine::run_engine(EngineKind::kLazyBlock, dg,
-                                    algos::SSSP{.source = source}, cl2,
-                                    {.graph_ev_ratio = g.edge_vertex_ratio()});
+  const auto a = engine::run({.kind = EngineKind::kSync}, dg,
+                             algos::SSSP{.source = source}, cl1);
+  const auto b = engine::run({.kind = EngineKind::kLazyBlock}, dg,
+                             algos::SSSP{.source = source}, cl2);
   ASSERT_TRUE(a.converged && b.converged);
   for (vid_t v = 0; v < n; ++v) {
     EXPECT_EQ(a.data[v].dist, b.data[v].dist) << "seed " << seed;
@@ -48,9 +46,8 @@ TEST_P(SeedSweep, KcoreOutputIsAFixpoint) {
   const std::uint32_t k = 3 + seed % 5;
   const auto dg = build_dgraph(g, 8, partition::CutKind::kCoordinated, seed);
   auto cl = make_cluster(8);
-  const auto r = engine::run_engine(EngineKind::kLazyBlock, dg,
-                                    algos::KCore{.k = k}, cl,
-                                    {.graph_ev_ratio = g.edge_vertex_ratio()});
+  const auto r = engine::run({.kind = EngineKind::kLazyBlock}, dg,
+                             algos::KCore{.k = k}, cl);
   ASSERT_TRUE(r.converged);
   const Csr& adj = g.out_csr();
   for (vid_t v = 0; v < g.num_vertices(); ++v) {
@@ -70,8 +67,8 @@ TEST_P(SeedSweep, CcLabelsConsistentAcrossEdges) {
   const Graph g = gen::erdos_renyi(300, 450, seed).symmetrized();
   const auto dg = build_dgraph(g, 6, partition::CutKind::kHybrid, seed);
   auto cl = make_cluster(6);
-  const auto r = engine::run_engine(EngineKind::kLazyVertex, dg,
-                                    algos::ConnectedComponents{}, cl);
+  const auto r = engine::run({.kind = EngineKind::kLazyVertex}, dg,
+                             algos::ConnectedComponents{}, cl);
   ASSERT_TRUE(r.converged);
   for (const Edge& e : g.edges()) {
     EXPECT_EQ(r.data[e.src].label, r.data[e.dst].label);
@@ -88,8 +85,8 @@ TEST_P(SeedSweep, SsspIsARelaxationFixpoint) {
   const Graph g = gen::rmat(8, 4, 0.5, 0.2, 0.2, seed, {1.0f, 9.0f});
   const auto dg = build_dgraph(g, 10, partition::CutKind::kGrid, seed);
   auto cl = make_cluster(10);
-  const auto r = engine::run_engine(EngineKind::kAsync, dg,
-                                    algos::SSSP{.source = 0}, cl);
+  const auto r = engine::run({.kind = EngineKind::kAsync}, dg,
+                             algos::SSSP{.source = 0}, cl);
   ASSERT_TRUE(r.converged);
   EXPECT_DOUBLE_EQ(r.data[0].dist, 0.0);
   for (const Edge& e : g.edges()) {
@@ -110,8 +107,7 @@ TEST_P(SeedSweep, PagerankMassConservation) {
   const auto dg = build_dgraph(g, 8, partition::CutKind::kCoordinated, seed);
   auto cl = make_cluster(8);
   const algos::PageRankDelta pr{.tol = 1e-6};
-  const auto r = engine::run_engine(EngineKind::kLazyBlock, dg, pr, cl,
-                                    {.graph_ev_ratio = g.edge_vertex_ratio()});
+  const auto r = engine::run({.kind = EngineKind::kLazyBlock}, dg, pr, cl);
   ASSERT_TRUE(r.converged);
   double total = 0.0;
   for (vid_t v = 0; v < n; ++v) total += r.data[v].rank;
@@ -124,9 +120,8 @@ TEST_P(SeedSweep, MetricsInternallyConsistent) {
   const Graph g = gen::erdos_renyi(200, 900, seed, {1.0f, 5.0f});
   const auto dg = build_dgraph(g, 8, partition::CutKind::kCoordinated, seed);
   auto cl = make_cluster(8);
-  const auto r = engine::run_engine(EngineKind::kLazyBlock, dg,
-                                    algos::SSSP{.source = 0}, cl,
-                                    {.graph_ev_ratio = g.edge_vertex_ratio()});
+  const auto r = engine::run({.kind = EngineKind::kLazyBlock}, dg,
+                             algos::SSSP{.source = 0}, cl);
   ASSERT_TRUE(r.converged);
   const sim::SimMetrics& m = cl.metrics();
   EXPECT_EQ(m.global_syncs, m.supersteps);  // lazy-block: 1 per superstep

@@ -1,0 +1,204 @@
+// Tracer subsystem: timeline invariants, determinism across cluster thread
+// counts, JSONL round-trip, and the golden accounting identity — every
+// simulated second the metrics report is covered by exactly one span.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_support.hpp"
+
+namespace lazygraph {
+namespace {
+
+using engine::EngineKind;
+using sim::SpanKind;
+using sim::Tracer;
+using sim::TraceSpan;
+using testsupport::build_dgraph;
+using testsupport::make_cluster;
+
+const std::vector<EngineKind> kEngines = {
+    EngineKind::kSync, EngineKind::kAsync, EngineKind::kLazyBlock,
+    EngineKind::kLazyVertex};
+
+struct Traced {
+  Tracer tracer;
+  engine::RunResult<algos::PageRankDelta> result;
+  double sim_seconds = 0.0;
+};
+
+Traced traced_pagerank(EngineKind kind, unsigned threads = 1) {
+  const Graph g = gen::rmat(8, 6, 0.57, 0.19, 0.19, 42, {1.0f, 5.0f});
+  const auto dg = build_dgraph(g, 8);
+  sim::Cluster cl(sim::ClusterConfig{8, {}, threads});
+  Traced t;
+  t.result = engine::run({.kind = kind, .tracer = &t.tracer}, dg,
+                         algos::PageRankDelta{.tol = 1e-4}, cl);
+  t.sim_seconds = cl.metrics().sim_seconds();
+  EXPECT_EQ(cl.tracer(), nullptr) << "run() must restore the previous tracer";
+  return t;
+}
+
+// Golden accounting identity: every engine's simulated seconds decompose
+// exactly into its spans (each charge helper emits exactly one span).
+TEST(Trace, SpanSecondsSumToSimSecondsOnAllEngines) {
+  for (const EngineKind kind : kEngines) {
+    const Traced t = traced_pagerank(kind);
+    ASSERT_TRUE(t.result.converged) << to_string(kind);
+    ASSERT_FALSE(t.tracer.spans().empty()) << to_string(kind);
+    EXPECT_NEAR(t.tracer.total_span_seconds(), t.sim_seconds, 1e-9)
+        << to_string(kind);
+    EXPECT_NEAR(t.result.metrics.sim_seconds(), t.sim_seconds, 0.0)
+        << to_string(kind);
+    EXPECT_EQ(t.result.trace, &t.tracer) << to_string(kind);
+    EXPECT_EQ(t.tracer.engine(), to_string(kind));
+  }
+}
+
+// Timeline invariants: spans tile the run — each starts where the previous
+// one ended, starting from zero, with non-negative durations and
+// non-decreasing superstep tags.
+TEST(Trace, SpansTileTheTimeline) {
+  for (const EngineKind kind : kEngines) {
+    const Traced t = traced_pagerank(kind);
+    const auto& spans = t.tracer.spans();
+    ASSERT_FALSE(spans.empty()) << to_string(kind);
+    EXPECT_DOUBLE_EQ(spans.front().start_seconds, 0.0) << to_string(kind);
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      EXPECT_GE(spans[i].duration_seconds, 0.0) << to_string(kind);
+      if (i > 0) {
+        EXPECT_DOUBLE_EQ(
+            spans[i].start_seconds,
+            spans[i - 1].start_seconds + spans[i - 1].duration_seconds)
+            << to_string(kind) << " span " << i;
+        EXPECT_GE(spans[i].superstep, spans[i - 1].superstep)
+            << to_string(kind) << " span " << i;
+      }
+    }
+  }
+}
+
+// The lazy-block timeline must expose the paper's protocol stages: local
+// stages (Stage 1) and coherency exchanges (Stage 2) carrying the comm-mode
+// decision with both predicted collective times under the adaptive policy.
+TEST(Trace, LazyBlockSpansCarryProtocolStagesAndCommDecision) {
+  const Traced t = traced_pagerank(EngineKind::kLazyBlock);
+  std::size_t local_stages = 0, exchanges = 0, decided = 0, with_traffic = 0;
+  for (const TraceSpan& s : t.tracer.spans()) {
+    if (s.kind == SpanKind::kLocalStage) {
+      ++local_stages;
+      EXPECT_GT(s.machines, 0u);
+      EXPECT_GE(s.max_work, s.min_work);
+      EXPECT_GE(static_cast<double>(s.max_work), s.mean_work);
+      EXPECT_GE(s.mean_work, static_cast<double>(s.min_work));
+    }
+    if (s.kind == SpanKind::kCoherencyExchange) {
+      ++exchanges;
+      // The final (quiescent) superstep's exchange may ship nothing.
+      if (s.bytes > 0) {
+        ++with_traffic;
+        EXPECT_GT(s.messages, 0u);
+      }
+      if (s.comm_mode >= 0) ++decided;
+      EXPECT_GE(s.prediction.t_a2a_seconds, 0.0);
+      EXPECT_GE(s.prediction.t_m2m_seconds, 0.0);
+    }
+  }
+  EXPECT_GE(local_stages, 1u);
+  EXPECT_GE(exchanges, 1u);
+  EXPECT_GE(with_traffic, 1u);
+  EXPECT_EQ(decided, exchanges) << "every exchange records its chosen mode";
+}
+
+// Superstep snapshots log what the adaptive machinery decided and why.
+TEST(Trace, LazyBlockSnapshotsRecordAdaptiveDecisions) {
+  const Traced t = traced_pagerank(EngineKind::kLazyBlock);
+  const auto& snaps = t.tracer.snapshots();
+  ASSERT_FALSE(snaps.empty());
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GT(snaps[i].superstep, snaps[i - 1].superstep);
+    }
+    EXPECT_GE(snaps[i].measured_t_seconds, 0.0);
+    EXPECT_GE(snaps[i].comm_mode, 0);
+  }
+  EXPECT_EQ(snaps.size(), t.result.supersteps);
+}
+
+// The trace is a pure function of the simulated run: the cluster's worker
+// thread count must not leak into it.
+TEST(Trace, DeterministicAcrossClusterThreadCounts) {
+  const Traced serial = traced_pagerank(EngineKind::kLazyBlock, /*threads=*/1);
+  const Traced threaded =
+      traced_pagerank(EngineKind::kLazyBlock, /*threads=*/4);
+  ASSERT_EQ(serial.tracer.spans().size(), threaded.tracer.spans().size());
+  EXPECT_EQ(serial.tracer.spans(), threaded.tracer.spans());
+  EXPECT_EQ(serial.tracer.snapshots(), threaded.tracer.snapshots());
+}
+
+// JSONL export parses back bit-exactly (doubles are emitted round-trippable).
+TEST(Trace, JsonlRoundTripIsExact) {
+  const Traced t = traced_pagerank(EngineKind::kLazyBlock);
+  std::stringstream ss;
+  t.tracer.write_jsonl(ss);
+  const Tracer back = Tracer::read_jsonl(ss);
+  EXPECT_EQ(back.engine(), t.tracer.engine());
+  EXPECT_EQ(back.algo(), t.tracer.algo());
+  ASSERT_EQ(back.spans().size(), t.tracer.spans().size());
+  EXPECT_EQ(back.spans(), t.tracer.spans());
+  ASSERT_EQ(back.snapshots().size(), t.tracer.snapshots().size());
+  EXPECT_EQ(back.snapshots(), t.tracer.snapshots());
+}
+
+TEST(Trace, SpanKindNamesRoundTrip) {
+  for (int k = 0; k <= static_cast<int>(SpanKind::kExchange); ++k) {
+    const auto kind = static_cast<SpanKind>(k);
+    EXPECT_EQ(sim::span_kind_from_string(sim::to_string(kind)), kind);
+  }
+  EXPECT_THROW(sim::span_kind_from_string("bogus"), std::invalid_argument);
+}
+
+TEST(Trace, ClearEmptiesTheTimeline) {
+  Traced t = traced_pagerank(EngineKind::kSync);
+  ASSERT_FALSE(t.tracer.spans().empty());
+  t.tracer.clear();
+  EXPECT_TRUE(t.tracer.spans().empty());
+  EXPECT_TRUE(t.tracer.snapshots().empty());
+  EXPECT_DOUBLE_EQ(t.tracer.total_span_seconds(), 0.0);
+}
+
+// Tables are smoke-checked only: headers present, one row per item.
+TEST(Trace, TablesRenderWithoutTruncation) {
+  const Traced t = traced_pagerank(EngineKind::kLazyBlock);
+  std::stringstream ss;
+  t.tracer.spans_table().print(ss);
+  t.tracer.top_spans_table(5).print(ss);
+  t.tracer.kind_summary_table().print(ss);
+  t.tracer.supersteps_table().print(ss);
+  EXPECT_NE(ss.str().find("kind"), std::string::npos);
+  EXPECT_NE(ss.str().find("coherency_exchange"), std::string::npos);
+}
+
+// Charging with no tracer attached must stay on the fast path (and the old
+// untyped charge helpers keep working for direct Cluster users).
+TEST(Trace, ClusterWithoutTracerRecordsNothing) {
+  auto cl = make_cluster(4);
+  ASSERT_EQ(cl.tracer(), nullptr);
+  const std::vector<std::uint64_t> work = {5, 7, 3, 9};
+  cl.charge_compute(work);
+  cl.charge_barrier();
+  cl.charge_exchange(sim::CommMode::kAllToAll, 1024, 12);
+  Tracer tracer;
+  cl.set_tracer(&tracer);
+  cl.charge_compute(work);
+  cl.set_tracer(nullptr);
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  EXPECT_EQ(tracer.spans()[0].kind, SpanKind::kCompute);
+  EXPECT_EQ(tracer.spans()[0].min_work, 3u);
+  EXPECT_EQ(tracer.spans()[0].max_work, 9u);
+  EXPECT_DOUBLE_EQ(tracer.spans()[0].mean_work, 6.0);
+  EXPECT_GT(tracer.spans()[0].start_seconds, 0.0);  // earlier charges counted
+}
+
+}  // namespace
+}  // namespace lazygraph

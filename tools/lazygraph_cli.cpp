@@ -1,9 +1,11 @@
 // lazygraph_cli — run any algorithm on any engine over a dataset analogue or
-// an edge-list file, printing results and run metrics.
+// an edge-list file, printing results, run metrics, and (optionally) the
+// stage-level trace.
 //
 //   lazygraph_cli --algo=sssp --engine=lazy-block --dataset=roadusa-like
 //                 --machines=16 --scale=0.2
 //   lazygraph_cli --algo=pagerank --engine=sync --graph=my_edges.txt
+//   lazygraph_cli --algo=pagerank --trace=run.jsonl --trace-summary=10
 //
 // Options:
 //   --algo=pagerank|sssp|cc|kcore|bfs|widest|diffusion   (default pagerank)
@@ -11,6 +13,10 @@
 //   --dataset=<table1 analogue name> | --graph=<edge-list path>
 //   --machines=N --scale=S --cut=random|grid|coordinated|hybrid
 //   --split=true|false  --source=V  --k=K  --tol=T  --top=N
+//   --trace=FILE         write the run's JSONL trace to FILE
+//   --trace-summary[=K]  print the top-K most expensive spans (default 10)
+//                        plus per-kind totals and the superstep decision log
+#include <fstream>
 #include <iostream>
 
 #include "lazygraph.hpp"
@@ -82,7 +88,13 @@ int main(int argc, char** argv) try {
             << ", parallel-edge copies=" << dg.parallel_edge_copies() << "\n";
 
   sim::Cluster cluster({machines, {}, 0});
-  const engine::EngineOptions eopts{.graph_ev_ratio = g.edge_vertex_ratio()};
+  sim::Tracer tracer;
+  const bool want_trace = opts.has("trace") || opts.has("trace-summary");
+
+  engine::RunConfig cfg;
+  cfg.kind = kind;  // graph_ev_ratio auto-derives from the dg's user view
+  if (want_trace) cfg.tracer = &tracer;
+
   const auto source = static_cast<vid_t>(opts.get_int("source", 0));
   const auto top = static_cast<std::size_t>(opts.get_int("top", 5));
 
@@ -90,30 +102,27 @@ int main(int argc, char** argv) try {
   std::uint64_t supersteps = 0;
   std::vector<std::pair<double, vid_t>> ranked;  // (score, vertex) for --top
   if (algo == "pagerank") {
-    const auto r = engine::run_engine(
-        kind, dg, algos::PageRankDelta{.tol = opts.get_double("tol", 1e-3)},
-        cluster, eopts);
+    const auto r = engine::run(
+        cfg, dg, algos::PageRankDelta{.tol = opts.get_double("tol", 1e-3)},
+        cluster);
     converged = r.converged;
     supersteps = r.supersteps;
     for (vid_t v = 0; v < g.num_vertices(); ++v)
       ranked.push_back({r.data[v].rank, v});
   } else if (algo == "sssp") {
-    const auto r = engine::run_engine(kind, dg, algos::SSSP{.source = source},
-                                      cluster, eopts);
+    const auto r = engine::run(cfg, dg, algos::SSSP{.source = source}, cluster);
     converged = r.converged;
     supersteps = r.supersteps;
     for (vid_t v = 0; v < g.num_vertices(); ++v)
       ranked.push_back({-r.data[v].dist, v});
   } else if (algo == "bfs") {
-    const auto r = engine::run_engine(kind, dg, algos::BFS{.source = source},
-                                      cluster, eopts);
+    const auto r = engine::run(cfg, dg, algos::BFS{.source = source}, cluster);
     converged = r.converged;
     supersteps = r.supersteps;
     for (vid_t v = 0; v < g.num_vertices(); ++v)
       ranked.push_back({-static_cast<double>(r.data[v].depth), v});
   } else if (algo == "cc") {
-    const auto r = engine::run_engine(kind, dg, algos::ConnectedComponents{},
-                                      cluster, eopts);
+    const auto r = engine::run(cfg, dg, algos::ConnectedComponents{}, cluster);
     converged = r.converged;
     supersteps = r.supersteps;
     std::map<vid_t, std::size_t> sizes;
@@ -121,8 +130,7 @@ int main(int argc, char** argv) try {
     std::cout << "components: " << sizes.size() << "\n";
   } else if (algo == "kcore") {
     const auto k = static_cast<std::uint32_t>(opts.get_int("k", 5));
-    const auto r =
-        engine::run_engine(kind, dg, algos::KCore{.k = k}, cluster, eopts);
+    const auto r = engine::run(cfg, dg, algos::KCore{.k = k}, cluster);
     converged = r.converged;
     supersteps = r.supersteps;
     std::size_t survivors = 0;
@@ -130,8 +138,8 @@ int main(int argc, char** argv) try {
       survivors += !r.data[v].deleted;
     std::cout << k << "-core size: " << survivors << "\n";
   } else if (algo == "widest") {
-    const auto r = engine::run_engine(
-        kind, dg, algos::WidestPath{.source = source}, cluster, eopts);
+    const auto r =
+        engine::run(cfg, dg, algos::WidestPath{.source = source}, cluster);
     converged = r.converged;
     supersteps = r.supersteps;
     for (vid_t v = 0; v < g.num_vertices(); ++v)
@@ -141,7 +149,7 @@ int main(int argc, char** argv) try {
         .alpha = opts.get_double("alpha", 0.6),
         .seed = source,
         .seed_bias = opts.get_double("seed_bias", 1.0)};
-    const auto r = engine::run_engine(kind, dg, prog, cluster, eopts);
+    const auto r = engine::run(cfg, dg, prog, cluster);
     converged = r.converged;
     supersteps = r.supersteps;
     for (vid_t v = 0; v < g.num_vertices(); ++v)
@@ -154,6 +162,29 @@ int main(int argc, char** argv) try {
             << ", converged=" << converged << ", supersteps=" << supersteps
             << "\n";
   cluster.metrics().print(std::cout, algo);
+
+  if (want_trace) tracer.set_run_info(to_string(kind), algo);
+  if (opts.has("trace")) {
+    const std::string path = opts.get("trace", "trace.jsonl");
+    std::ofstream os(path);
+    require(os.good(), "cannot open trace output: " + path);
+    tracer.write_jsonl(os);
+    std::cout << "trace: " << tracer.spans().size() << " spans, "
+              << tracer.snapshots().size() << " superstep snapshots -> "
+              << path << "\n";
+  }
+  if (opts.has("trace-summary")) {
+    auto k = static_cast<std::size_t>(opts.get_int("trace-summary", 10));
+    if (k == 0) k = 10;  // bare --trace-summary parses as 0
+    std::cout << "\ntop-" << k << " spans by simulated time:\n";
+    tracer.top_spans_table(k).print(std::cout);
+    std::cout << "\nper-kind totals:\n";
+    tracer.kind_summary_table().print(std::cout);
+    if (!tracer.snapshots().empty()) {
+      std::cout << "\nsuperstep decisions:\n";
+      tracer.supersteps_table().print(std::cout);
+    }
+  }
 
   if (!ranked.empty() && top > 0) {
     std::partial_sort(ranked.begin(),
