@@ -128,6 +128,7 @@ class AsyncEngine {
         t->record_superstep({.superstep = result.supersteps,
                             .active_vertices = applies});
       }
+      if (inspector_) inspector_(result.supersteps, states_);
       if (!any) {
         result.converged = true;
         break;
@@ -141,12 +142,20 @@ class AsyncEngine {
 
   const std::vector<PartState<P>>& states() const { return states_; }
 
+  /// Invoked at the end of every Gauss-Seidel round: eager coherency pushes
+  /// each new vertex value to all mirrors within the update itself, so
+  /// replicas of every vertex hold identical vdata here.
+  void set_coherency_inspector(CoherencyInspector<P> inspector) {
+    inspector_ = std::move(inspector);
+  }
+
  private:
   const partition::DistributedGraph& dg_;
   P prog_;
   sim::Cluster& cluster_;
   AsyncOptions opts_;
   std::vector<PartState<P>> states_;
+  CoherencyInspector<P> inspector_;
 };
 
 }  // namespace lazygraph::engine

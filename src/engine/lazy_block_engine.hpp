@@ -107,6 +107,9 @@ class LazyBlockAsyncEngine {
       for (machine_t m = 0; m < p; ++m) active += states_[m].count_msgs();
       if (active == 0) {
         record_superstep_snapshot(result.supersteps, active, do_local, comm);
+        // The exchange delivered nothing and no messages are pending: the
+        // previous coherency point's view is still the global one.
+        if (inspector_) inspector_(result.supersteps, states_);
         result.converged = true;
         break;
       }
@@ -128,6 +131,7 @@ class LazyBlockAsyncEngine {
       });
       cluster_.charge_compute(sim::SpanKind::kApplySweep, work);
       for (machine_t m = 0; m < p; ++m) cluster_.metrics().applies += applies[m];
+      if (inspector_) inspector_(result.supersteps, states_);
 
       // "We collect the execution time T of the first iteration ... online":
       // the first full coherency round calibrates the 3T local-stage budget.
@@ -143,6 +147,15 @@ class LazyBlockAsyncEngine {
   }
 
   const std::vector<PartState<P>>& states() const { return states_; }
+
+  /// Invoked after every coherency point's apply+scatter sweep (and at the
+  /// terminal quiescent exchange): every replica has folded in the others'
+  /// deltas and applied the same merged accumulator, so all replicas of a
+  /// vertex hold the identical global view (paper §3.2) — exactly for
+  /// semilattice Sums, up to floating-point association for additive ones.
+  void set_coherency_inspector(CoherencyInspector<P> inspector) {
+    inspector_ = std::move(inspector);
+  }
 
  private:
   /// Logs what the adaptive machinery decided this superstep: the interval
@@ -279,6 +292,7 @@ class LazyBlockAsyncEngine {
   LazyOptions opts_;
   IntervalModel interval_;
   std::vector<PartState<P>> states_;
+  CoherencyInspector<P> inspector_;
   double first_iter_seconds_ = 0.0;
 };
 

@@ -59,13 +59,11 @@ class LazyVertexAsyncEngine {
     std::vector<std::uint64_t> work(p);
 
     for (std::uint64_t cycle = 0; cycle < opts_.max_cycles; ++cycle) {
-      ++cluster_.metrics().supersteps;
-      ++result.supersteps;
       std::fill(work.begin(), work.end(), 0);
       msgs_ = bytes_ = 0;
       bool any = false;
-      std::uint64_t queued = 0;
-      for (machine_t m = 0; m < p; ++m) queued += queues_[m].size();
+      std::uint64_t active = 0;
+      for (machine_t m = 0; m < p; ++m) active += queues_[m].size();
 
       for (machine_t m = 0; m < p; ++m) {
         // Snapshot the queue length: items pushed during this cycle are
@@ -81,18 +79,26 @@ class LazyVertexAsyncEngine {
 
       if (!any) {
         // All queues drained: flush outstanding deltas. If that delivers
-        // nothing new, the algorithm has terminated.
+        // nothing new, the algorithm has terminated; the detection cycle did
+        // no work and is not counted as a superstep.
         if (!flush_all_deltas(work)) {
           result.converged = true;
+          if (inspector_) inspector_(result.supersteps, states_);
           break;
         }
+        // Drain cycle: the flush reactivated vertices. Report the delivered
+        // activations, not the (empty) pre-flush queue length.
+        active = 0;
+        for (machine_t m = 0; m < p; ++m) active += queues_[m].size();
       }
+      ++cluster_.metrics().supersteps;
+      ++result.supersteps;
       cluster_.charge_compute(sim::SpanKind::kLocalStage, work);
       cluster_.charge_fine_grained(sim::SpanKind::kCoherencyExchange, bytes_,
                                    msgs_);
       if (sim::Tracer* t = cluster_.tracer()) {
         t->record_superstep({.superstep = result.supersteps,
-                            .active_vertices = queued});
+                            .active_vertices = active});
       }
     }
 
@@ -102,6 +108,14 @@ class LazyVertexAsyncEngine {
   }
 
   const std::vector<PartState<P>>& states() const { return states_; }
+
+  /// Invoked once, at termination: per-vertex coherency events merge deltas
+  /// but leave the delivery pending in the replicas' message slots, so the
+  /// identical global view is only guaranteed once every queue has drained
+  /// and the final flush delivers nothing.
+  void set_coherency_inspector(CoherencyInspector<P> inspector) {
+    inspector_ = std::move(inspector);
+  }
 
  private:
   void enqueue(machine_t m, lvid_t v) {
@@ -224,6 +238,7 @@ class LazyVertexAsyncEngine {
   std::vector<std::deque<lvid_t>> queues_;
   std::vector<std::vector<std::uint8_t>> in_queue_;
   std::vector<std::vector<std::uint32_t>> applies_since_;
+  CoherencyInspector<P> inspector_;
   std::uint64_t msgs_ = 0, bytes_ = 0;
 };
 

@@ -92,8 +92,9 @@ RunResult<P> run(const RunConfig& cfg, const partition::DistributedGraph& dg,
 }
 
 // --------------------------------------------------------------------------
-// Deprecated compatibility shim (one release): the old entry point taking
-// four parallel option structs. Forwards to engine::run().
+// Deprecated compatibility shim (one release, removal planned for the
+// 2026-09 release): the old entry point taking four parallel option
+// structs. Forwards to engine::run().
 // --------------------------------------------------------------------------
 
 struct EngineOptions {

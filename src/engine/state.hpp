@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "engine/program.hpp"
@@ -11,6 +12,18 @@
 #include "sim/cluster.hpp"
 
 namespace lazygraph::engine {
+
+template <VertexProgram P>
+struct PartState;
+
+/// Observation hook for correctness harnesses: engines invoke it at every
+/// point where the protocol guarantees all replicas of a vertex hold an
+/// identical global view (see each engine's set_coherency_inspector for the
+/// exact points). Receives the superstep counter and the full per-machine
+/// replica state, read-only.
+template <VertexProgram P>
+using CoherencyInspector = std::function<void(
+    std::uint64_t superstep, const std::vector<PartState<P>>& states)>;
 
 /// Wire sizes used for traffic accounting: an 8-byte routing header (vertex
 /// id + flags) plus the payload.

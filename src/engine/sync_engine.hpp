@@ -170,6 +170,7 @@ class SyncEngine {
         t->record_superstep({.superstep = result.supersteps,
                             .active_vertices = active});
       }
+      if (inspector_) inspector_(result.supersteps, states_);
       if (active == 0) {
         result.converged = true;
         break;
@@ -183,12 +184,20 @@ class SyncEngine {
 
   const std::vector<PartState<P>>& states() const { return states_; }
 
+  /// Invoked at the end of every superstep: the eager broadcast has already
+  /// replicated every applied vertex to all its mirrors, so replicas of every
+  /// vertex hold identical vdata here.
+  void set_coherency_inspector(CoherencyInspector<P> inspector) {
+    inspector_ = std::move(inspector);
+  }
+
  private:
   const partition::DistributedGraph& dg_;
   P prog_;
   sim::Cluster& cluster_;
   SyncOptions opts_;
   std::vector<PartState<P>> states_;
+  CoherencyInspector<P> inspector_;
 };
 
 }  // namespace lazygraph::engine

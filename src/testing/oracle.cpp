@@ -1,0 +1,474 @@
+#include "testing/oracle.hpp"
+
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "algos/bfs.hpp"
+#include "algos/cc.hpp"
+#include "algos/diffusion.hpp"
+#include "algos/kcore.hpp"
+#include "algos/pagerank.hpp"
+#include "algos/sssp.hpp"
+#include "algos/widest_path.hpp"
+#include "engine/run.hpp"
+#include "graph/reference.hpp"
+#include "partition/dgraph.hpp"
+#include "partition/edge_splitter.hpp"
+#include "sim/cluster.hpp"
+#include "util/rng.hpp"
+
+namespace lazygraph::testing {
+namespace {
+
+using engine::EngineKind;
+
+constexpr EngineKind kAllEngines[] = {EngineKind::kSync, EngineKind::kAsync,
+                                      EngineKind::kLazyBlock,
+                                      EngineKind::kLazyVertex};
+
+bool is_lazy(EngineKind k) {
+  return k == EngineKind::kLazyBlock || k == EngineKind::kLazyVertex;
+}
+
+std::string num(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+/// Everything one engine run produced that the invariant checks consume.
+template <class P>
+struct RunOutput {
+  engine::RunResult<P> result;
+  sim::Tracer tracer;
+  double sim_seconds = 0.0;
+  std::optional<std::string> coherency_failure;
+};
+
+/// Runs one engine on `dg` with a fresh cluster, optionally watching replica
+/// views at every coherency point the engine reports.
+template <class P, class ReplicaEq, class EagerEq>
+RunOutput<P> run_one(EngineKind kind, const partition::DistributedGraph& dg,
+                     const P& prog, const Scenario& s, const OracleOptions& o,
+                     std::size_t threads, bool with_tracer, bool with_inspector,
+                     ReplicaEq lazy_replica_eq, EagerEq eager_eq) {
+  RunOutput<P> out;
+  sim::Cluster cluster(sim::ClusterConfig{s.machines, {}, threads});
+  if (with_tracer) {
+    cluster.set_tracer(&out.tracer);
+    out.tracer.set_run_info(engine::to_string(kind), to_string(s.program));
+  }
+
+  // Eager engines replicate vdata by assignment (broadcast), so replicas
+  // must be bitwise identical; the lazy engines re-derive each replica's
+  // view from the same delta multiset, so floating-point programs compare
+  // with the program's association tolerance.
+  auto make_inspector = [&](auto eq) -> engine::CoherencyInspector<P> {
+    return [&dg, &out, eq](std::uint64_t superstep,
+                           const std::vector<engine::PartState<P>>& states) {
+      if (out.coherency_failure) return;
+      for (machine_t m = 0; m < dg.num_machines(); ++m) {
+        const partition::Part& part = dg.part(m);
+        for (lvid_t v = 0; v < part.num_local(); ++v) {
+          for (const auto& [r, rl] : part.remote_replicas[v]) {
+            if (r < m) continue;  // each pair once
+            if (eq(states[m].vdata[v], states[r].vdata[rl])) continue;
+            std::ostringstream os;
+            os << "replicas of vertex " << part.gids[v]
+               << " diverge between machines " << m << " and " << r
+               << " at coherency point of superstep " << superstep;
+            out.coherency_failure = os.str();
+            return;
+          }
+        }
+      }
+    };
+  };
+  switch (kind) {
+    case EngineKind::kSync: {
+      engine::SyncEngine<P> e(dg, prog, cluster, {o.max_supersteps});
+      if (with_inspector) e.set_coherency_inspector(make_inspector(eager_eq));
+      out.result = e.run();
+      break;
+    }
+    case EngineKind::kAsync: {
+      engine::AsyncEngine<P> e(dg, prog, cluster, {o.max_supersteps});
+      if (with_inspector) e.set_coherency_inspector(make_inspector(eager_eq));
+      out.result = e.run();
+      break;
+    }
+    case EngineKind::kLazyBlock: {
+      engine::LazyOptions lo;
+      lo.max_supersteps = o.max_supersteps;
+      lo.interval.policy = s.interval_policy;
+      lo.comm_policy = s.comm_policy;
+      engine::LazyBlockAsyncEngine<P> e(dg, prog, cluster, lo,
+                                        dg.user_ev_ratio());
+      // Parallel-edges graphs deliver split-edge scatters eagerly through
+      // per-machine edge copies, and the source replicas emit differently
+      // grouped payload sequences — so intermediate views legitimately
+      // differ and identical views are only promised at termination.
+      const bool split = dg.parallel_edge_copies() > 0;
+      const auto inspect = make_inspector(lazy_replica_eq);
+      if (with_inspector && !split) e.set_coherency_inspector(inspect);
+      out.result = e.run();
+      if (with_inspector && split && out.result.converged) {
+        inspect(out.result.supersteps, e.states());
+      }
+      break;
+    }
+    case EngineKind::kLazyVertex: {
+      engine::LazyVertexAsyncEngine<P> e(dg, prog, cluster,
+                                         {o.max_supersteps, s.staleness});
+      if (with_inspector) {
+        e.set_coherency_inspector(make_inspector(lazy_replica_eq));
+      }
+      out.result = e.run();
+      break;
+    }
+  }
+  out.sim_seconds = cluster.metrics().sim_seconds();
+  return out;
+}
+
+/// The per-run invariants that do not involve the reference fixed point.
+template <class P>
+std::optional<std::string> check_run_invariants(const RunOutput<P>& out,
+                                                vid_t num_vertices,
+                                                const OracleOptions& o,
+                                                bool with_tracer) {
+  if (!out.result.converged) {
+    return "did not converge within " + std::to_string(o.max_supersteps) +
+           " supersteps";
+  }
+  if (out.result.data.size() != num_vertices) {
+    return "result has " + std::to_string(out.result.data.size()) +
+           " vertices, graph has " + std::to_string(num_vertices);
+  }
+  if (out.coherency_failure) return out.coherency_failure;
+  if (out.result.metrics.supersteps != out.result.supersteps) {
+    return "metrics count " + std::to_string(out.result.metrics.supersteps) +
+           " supersteps, result reports " +
+           std::to_string(out.result.supersteps);
+  }
+  if (!with_tracer || !o.check_trace) return std::nullopt;
+
+  const sim::Tracer& t = out.tracer;
+  if (t.snapshots().size() != out.result.supersteps) {
+    return "trace has " + std::to_string(t.snapshots().size()) +
+           " superstep snapshots for " + std::to_string(out.result.supersteps) +
+           " supersteps";
+  }
+  // Spans must tile [0, sim_seconds): every simulated second flows through
+  // exactly one charge_* helper, each appending exactly one span.
+  const double total = t.total_span_seconds();
+  const double sim = out.sim_seconds;
+  if (std::abs(total - sim) > 1e-9 * std::max(1.0, std::abs(sim))) {
+    return "span seconds " + num(total) + " do not sum to sim_seconds " +
+           num(sim);
+  }
+  double cursor = 0.0;
+  for (std::size_t i = 0; i < t.spans().size(); ++i) {
+    const sim::TraceSpan& span = t.spans()[i];
+    if (std::abs(span.start_seconds - cursor) >
+        1e-12 * std::max(1.0, cursor)) {
+      return "span " + std::to_string(i) + " starts at " +
+             num(span.start_seconds) + ", previous spans end at " +
+             num(cursor);
+    }
+    if (span.duration_seconds < 0.0) {
+      return "span " + std::to_string(i) + " has negative duration";
+    }
+    cursor = span.start_seconds + span.duration_seconds;
+  }
+  return std::nullopt;
+}
+
+/// Runs the scenario's program through all four engines plus the
+/// determinism re-runs. `against_ref(data)` compares a result vector with
+/// the reference fixed point; `replica_eq` compares replica views of the
+/// lazy engines at coherency points; `bit_eq` is exact-result equality for
+/// the determinism checks.
+template <class P, class AgainstRef, class ReplicaEq, class BitEq>
+std::optional<std::string> run_program(const Scenario& s,
+                                       const OracleOptions& o, const Graph& g,
+                                       const P& prog, AgainstRef against_ref,
+                                       ReplicaEq replica_eq, BitEq bit_eq) {
+  const auto assignment =
+      partition::assign_edges(g, s.machines, {s.cut, s.partition_seed});
+  const auto dg_plain =
+      partition::DistributedGraph::build(g, s.machines, assignment);
+  std::optional<partition::DistributedGraph> dg_split;
+  if (s.split) {
+    partition::EdgeSplitterOptions eso;
+    eso.t_extra = 0.001;
+    const auto split_edges = partition::select_split_edges(g, s.machines, eso);
+    dg_split = partition::DistributedGraph::build(g, s.machines, assignment,
+                                                  split_edges);
+  }
+  // Eager engines require unsplit graphs; the lazy engines take the
+  // parallel-edges version when the scenario asks for it. Both views must
+  // reach the same user-level fixed point.
+  const auto& dg_lazy = dg_split ? *dg_split : dg_plain;
+
+  bool injected = false;
+  for (EngineKind kind : kAllEngines) {
+    const auto& dg = is_lazy(kind) ? dg_lazy : dg_plain;
+    auto out = run_one(kind, dg, prog, s, o, /*threads=*/1,
+                       /*with_tracer=*/true,
+                       /*with_inspector=*/o.check_replica_coherency,
+                       replica_eq, bit_eq);
+    if (o.inject_result_error && !injected && !out.result.data.empty()) {
+      // Oracle self-test: corrupt one byte of one output and make sure the
+      // reference comparison notices.
+      auto* bytes = reinterpret_cast<unsigned char*>(&out.result.data[0]);
+      bytes[0] ^= 0x5a;
+      injected = true;
+    }
+    std::optional<std::string> f =
+        check_run_invariants(out, g.num_vertices(), o, /*with_tracer=*/true);
+    if (!f) f = against_ref(out.result.data);
+    if (f) return std::string(engine::to_string(kind)) + ": " + *f;
+  }
+
+  if (o.check_determinism) {
+    const EngineKind kind = kAllEngines[mix64(s.seed ^ s.partition_seed) % 4];
+    const auto& dg = is_lazy(kind) ? dg_lazy : dg_plain;
+    auto run_plain = [&](std::size_t threads) {
+      return run_one(kind, dg, prog, s, o, threads, /*with_tracer=*/false,
+                     /*with_inspector=*/false, replica_eq, bit_eq);
+    };
+    const auto base = run_plain(1);
+    struct Rerun {
+      const char* what;
+      std::size_t threads;
+    };
+    for (const Rerun r : {Rerun{"repeated run", 1}, Rerun{"2-thread run", 2}}) {
+      const auto again = run_plain(r.threads);
+      std::string why;
+      if (again.result.supersteps != base.result.supersteps) {
+        why = "superstep count";
+      } else if (again.sim_seconds != base.sim_seconds) {
+        why = "simulated seconds";
+      } else {
+        for (vid_t v = 0; v < g.num_vertices(); ++v) {
+          if (!bit_eq(again.result.data[v], base.result.data[v])) {
+            why = "vertex " + std::to_string(v) + " data";
+            break;
+          }
+        }
+      }
+      if (!why.empty()) {
+        return std::string(engine::to_string(kind)) + ": " + r.what +
+               " not bit-identical (" + why + ")";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+/// Exact per-vertex comparison against a reference vector.
+template <class Get, class Ref>
+auto exact_against(const std::vector<Ref>& ref, Get get, const char* what) {
+  return [ref, get, what](const auto& data) -> std::optional<std::string> {
+    for (std::size_t v = 0; v < ref.size(); ++v) {
+      const auto got = get(data[v]);
+      if (got == ref[v]) continue;
+      std::ostringstream os;
+      os << "vertex " << v << " " << what << ": engine " << got
+         << " != reference " << ref[v];
+      return os.str();
+    }
+    return std::nullopt;
+  };
+}
+
+/// Per-vertex comparison within an absolute bound (floating-point programs).
+template <class Get>
+auto close_against(const std::vector<double>& ref, Get get, const char* what,
+                   double bound) {
+  return [ref, get, what, bound](const auto& data) -> std::optional<std::string> {
+    for (std::size_t v = 0; v < ref.size(); ++v) {
+      const double got = get(data[v]);
+      if (std::abs(got - ref[v]) <= bound) continue;
+      std::ostringstream os;
+      os.precision(17);
+      os << "vertex " << v << " " << what << ": engine " << got
+         << " vs reference " << ref[v] << " differ by more than " << bound;
+      return os.str();
+    }
+    return std::nullopt;
+  };
+}
+
+/// Near-equality for replica views of additive floating-point programs:
+/// replicas fold the same delta multiset in different association orders.
+bool fp_close(double a, double b, double slack) {
+  return std::abs(a - b) <= slack + 1e-9 * std::max(std::abs(a), std::abs(b));
+}
+
+}  // namespace
+
+Verdict check_scenario(const Scenario& s, const OracleOptions& opts) {
+  try {
+    if (s.needs_source() &&
+        (s.num_vertices == 0 || s.source >= s.num_vertices)) {
+      return {false, "scenario: source out of range"};
+    }
+    if (s.machines == 0 || s.machines > 64) {
+      return {false, "scenario: machine count out of range"};
+    }
+    const Graph g = s.build_graph();
+    std::optional<std::string> f;
+    switch (s.program) {
+      case ProgramKind::kSssp: {
+        algos::SSSP prog;
+        prog.source = s.source;
+        const auto ref = reference::sssp(g, s.source);
+        const auto eq = [](const algos::SSSP::VData& a,
+                           const algos::SSSP::VData& b) {
+          return a.dist == b.dist;
+        };
+        f = run_program(s, opts, g, prog,
+                        exact_against(ref, [](const auto& d) { return d.dist; },
+                                      "dist"),
+                        eq, eq);
+        break;
+      }
+      case ProgramKind::kBfs: {
+        algos::BFS prog;
+        prog.source = s.source;
+        const auto ref = reference::bfs(g, s.source);
+        const auto eq = [](const algos::BFS::VData& a,
+                           const algos::BFS::VData& b) {
+          return a.depth == b.depth;
+        };
+        f = run_program(
+            s, opts, g, prog,
+            exact_against(ref, [](const auto& d) { return d.depth; }, "depth"),
+            eq, eq);
+        break;
+      }
+      case ProgramKind::kConnectedComponents: {
+        algos::ConnectedComponents prog;
+        const auto ref = reference::connected_components(g);
+        const auto eq = [](const algos::ConnectedComponents::VData& a,
+                           const algos::ConnectedComponents::VData& b) {
+          return a.label == b.label;
+        };
+        f = run_program(
+            s, opts, g, prog,
+            exact_against(ref, [](const auto& d) { return d.label; }, "label"),
+            eq, eq);
+        break;
+      }
+      case ProgramKind::kKcore: {
+        algos::KCore prog;
+        prog.k = s.kcore_k;
+        const auto ref = reference::kcore(g, s.kcore_k);
+        const auto eq = [](const algos::KCore::VData& a,
+                           const algos::KCore::VData& b) {
+          return a.deleted == b.deleted && a.core == b.core;
+        };
+        f = run_program(s, opts, g, prog,
+                        exact_against(
+                            ref, [](const auto& d) { return !d.deleted; },
+                            "k-core membership"),
+                        eq, eq);
+        break;
+      }
+      case ProgramKind::kPagerank: {
+        algos::PageRankDelta prog;
+        prog.tol = s.tol;
+        const auto ref = reference::pagerank(g, 1e-12, 20'000);
+        // Each vertex may retain up to tol of unscattered delta; the 300x
+        // headroom covers its propagation through the 0.85-contraction
+        // (empirically calibrated, same bound the unit suites use).
+        const double bound = 300.0 * s.tol;
+        // Replicas apply the same delta multiset, possibly grouped
+        // differently: ranks agree up to association order, pending deltas
+        // up to 2x the scatter threshold (each replica's retained remainder
+        // lies in (-tol, tol), but partial-sum releases differ). On
+        // parallel-edges graphs each target replica consumes the releases of
+        // *its* machine's source replica, whose running totals differ by up
+        // to the retained remainder — rank then only agrees up to the
+        // threshold error amplified through the 0.85-contraction.
+        const double tol = s.tol;
+        const double rank_slack = s.split ? 100.0 * tol : 0.0;
+        const auto replica_eq = [tol, rank_slack](
+                                    const algos::PageRankDelta::VData& a,
+                                    const algos::PageRankDelta::VData& b) {
+          return fp_close(a.rank, b.rank, rank_slack) &&
+                 fp_close(a.pending_delta, b.pending_delta, 2.0 * tol);
+        };
+        const auto bit_eq = [](const algos::PageRankDelta::VData& a,
+                               const algos::PageRankDelta::VData& b) {
+          return a.rank == b.rank && a.pending_delta == b.pending_delta;
+        };
+        f = run_program(
+            s, opts, g, prog,
+            close_against(ref, [](const auto& d) { return d.rank; }, "rank",
+                          bound),
+            replica_eq, bit_eq);
+        break;
+      }
+      case ProgramKind::kWidestPath: {
+        algos::WidestPath prog;
+        prog.source = s.source;
+        const auto ref = reference::widest_path(g, s.source);
+        const auto eq = [](const algos::WidestPath::VData& a,
+                           const algos::WidestPath::VData& b) {
+          return a.capacity == b.capacity;
+        };
+        f = run_program(s, opts, g, prog,
+                        exact_against(
+                            ref, [](const auto& d) { return d.capacity; },
+                            "capacity"),
+                        eq, eq);
+        break;
+      }
+      case ProgramKind::kDiffusion: {
+        algos::LinearDiffusion prog;
+        prog.alpha = s.alpha;
+        prog.seed = s.source;
+        prog.tol = s.tol;
+        std::vector<double> bias(g.num_vertices(), prog.base_bias);
+        if (!bias.empty()) bias[s.source] += prog.seed_bias;
+        const auto ref =
+            reference::linear_diffusion(g, bias, s.alpha, 1e-13, 50'000);
+        // Retained deltas amplify by at most 1/(1-alpha) through the linear
+        // fixpoint, hence the alpha-dependent headroom.
+        const double bound = 300.0 * s.tol / (1.0 - s.alpha);
+        const double tol = s.tol;
+        const double value_slack =
+            s.split ? 100.0 * tol / (1.0 - s.alpha) : 0.0;
+        const auto replica_eq = [tol, value_slack](
+                                    const algos::LinearDiffusion::VData& a,
+                                    const algos::LinearDiffusion::VData& b) {
+          return fp_close(a.value, b.value, value_slack) &&
+                 fp_close(a.pending_delta, b.pending_delta, 2.0 * tol);
+        };
+        const auto bit_eq = [](const algos::LinearDiffusion::VData& a,
+                               const algos::LinearDiffusion::VData& b) {
+          return a.value == b.value && a.pending_delta == b.pending_delta;
+        };
+        f = run_program(
+            s, opts, g, prog,
+            close_against(ref, [](const auto& d) { return d.value; }, "value",
+                          bound),
+            replica_eq, bit_eq);
+        break;
+      }
+    }
+    if (f) return {false, *f};
+    return {};
+  } catch (const std::exception& e) {
+    return {false, std::string("exception: ") + e.what()};
+  }
+}
+
+}  // namespace lazygraph::testing

@@ -1,0 +1,51 @@
+// The cross-engine differential oracle: runs one Scenario through all four
+// engines and checks every invariant the paper's coherency protocol
+// promises. A scenario passes only if
+//
+//   1. every engine converges and matches the single-machine reference
+//      fixed point (exactly for the semilattice / integer programs, within a
+//      threshold-derived bound for PageRank and diffusion);
+//   2. at every coherency point the engine reports (via the
+//      set_coherency_inspector hooks), all replicas of every vertex hold the
+//      identical global view — on parallel-edges (split) graphs, whose
+//      edge-copy deliveries are eager per machine, only at termination;
+//   3. the trace accounts for the run: span durations tile the timeline and
+//      sum to SimMetrics::sim_seconds(), and there is exactly one superstep
+//      snapshot per counted superstep;
+//   4. results are bit-identical across repeated runs and across cluster
+//      thread counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "testing/scenario.hpp"
+
+namespace lazygraph::testing {
+
+struct OracleOptions {
+  /// Outer-iteration bound for every engine; failing to converge within it
+  /// is an oracle failure.
+  std::uint64_t max_supersteps = 300'000;
+  /// Re-run one engine (picked from the scenario seed) twice and under a
+  /// two-thread cluster, requiring bit-identical results.
+  bool check_determinism = true;
+  /// Verify replica views at every coherency point via the engine hooks.
+  bool check_replica_coherency = true;
+  /// Verify trace tiling / snapshot-count invariants.
+  bool check_trace = true;
+  /// Self-test knob: perturb one output value of one engine before the
+  /// reference comparison, to prove the oracle would catch a wrong fixed
+  /// point. Never set outside the oracle's own tests.
+  bool inject_result_error = false;
+};
+
+struct Verdict {
+  bool ok = true;
+  /// Empty when ok; otherwise "<engine>: <first violated invariant>".
+  std::string failure;
+};
+
+Verdict check_scenario(const Scenario& s, const OracleOptions& opts = {});
+
+}  // namespace lazygraph::testing

@@ -1,0 +1,308 @@
+#include "testing/scenario.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace lazygraph::testing {
+
+const char* to_string(ProgramKind p) {
+  switch (p) {
+    case ProgramKind::kSssp: return "sssp";
+    case ProgramKind::kBfs: return "bfs";
+    case ProgramKind::kConnectedComponents: return "cc";
+    case ProgramKind::kKcore: return "kcore";
+    case ProgramKind::kPagerank: return "pagerank";
+    case ProgramKind::kWidestPath: return "widest";
+    case ProgramKind::kDiffusion: return "diffusion";
+  }
+  return "?";
+}
+
+ProgramKind program_kind_from_string(const std::string& s) {
+  for (int i = 0; i < kNumProgramKinds; ++i) {
+    const ProgramKind p = static_cast<ProgramKind>(i);
+    if (s == to_string(p)) return p;
+  }
+  throw std::invalid_argument("unknown program kind: " + s);
+}
+
+namespace {
+
+partition::CutKind cut_from_string(const std::string& s) {
+  using partition::CutKind;
+  for (CutKind k : {CutKind::kRandom, CutKind::kGrid, CutKind::kCoordinated,
+                    CutKind::kOblivious, CutKind::kHybrid}) {
+    if (s == partition::to_string(k)) return k;
+  }
+  throw std::invalid_argument("unknown cut kind: " + s);
+}
+
+engine::IntervalPolicy interval_from_string(const std::string& s) {
+  using engine::IntervalPolicy;
+  for (IntervalPolicy p : {IntervalPolicy::kAdaptive, IntervalPolicy::kAlwaysLazy,
+                           IntervalPolicy::kNeverLazy}) {
+    if (s == engine::to_string(p)) return p;
+  }
+  throw std::invalid_argument("unknown interval policy: " + s);
+}
+
+engine::CommModePolicy comm_from_string(const std::string& s) {
+  using engine::CommModePolicy;
+  for (CommModePolicy p :
+       {CommModePolicy::kAdaptive, CommModePolicy::kForceAllToAll,
+        CommModePolicy::kForceMirrorsToMaster}) {
+    if (s == engine::to_string(p)) return p;
+  }
+  throw std::invalid_argument("unknown comm policy: " + s);
+}
+
+}  // namespace
+
+bool Scenario::needs_source() const {
+  switch (program) {
+    case ProgramKind::kSssp:
+    case ProgramKind::kBfs:
+    case ProgramKind::kWidestPath:
+    case ProgramKind::kDiffusion:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Graph Scenario::build_graph() const {
+  Graph g(num_vertices, edges);
+  if (program == ProgramKind::kConnectedComponents ||
+      program == ProgramKind::kKcore) {
+    return g.symmetrized();
+  }
+  return g;
+}
+
+std::string Scenario::summary() const {
+  std::ostringstream os;
+  os << "seed=" << seed << " V=" << num_vertices << " E=" << edges.size()
+     << " P=" << machines << " cut=" << partition::to_string(cut)
+     << " split=" << (split ? 1 : 0) << " prog=" << testing::to_string(program);
+  if (needs_source()) os << " source=" << source;
+  if (program == ProgramKind::kKcore) os << " k=" << kcore_k;
+  if (program == ProgramKind::kPagerank || program == ProgramKind::kDiffusion) {
+    os << " tol=" << tol;
+  }
+  os << " staleness=" << staleness
+     << " interval=" << engine::to_string(interval_policy)
+     << " comm=" << engine::to_string(comm_policy);
+  return os.str();
+}
+
+void Scenario::to_text(std::ostream& os) const {
+  // %.17g round-trips every finite double exactly.
+  char buf[64];
+  os << "lazygraph-scenario v1\n";
+  os << "seed " << seed << "\n";
+  os << "vertices " << num_vertices << "\n";
+  os << "machines " << machines << "\n";
+  os << "cut " << partition::to_string(cut) << "\n";
+  os << "partition_seed " << partition_seed << "\n";
+  os << "split " << (split ? 1 : 0) << "\n";
+  os << "program " << testing::to_string(program) << "\n";
+  os << "source " << source << "\n";
+  os << "kcore_k " << kcore_k << "\n";
+  std::snprintf(buf, sizeof buf, "%.17g", tol);
+  os << "tol " << buf << "\n";
+  std::snprintf(buf, sizeof buf, "%.17g", alpha);
+  os << "alpha " << buf << "\n";
+  os << "staleness " << staleness << "\n";
+  os << "interval " << engine::to_string(interval_policy) << "\n";
+  os << "comm " << engine::to_string(comm_policy) << "\n";
+  os << "edges " << edges.size() << "\n";
+  for (const Edge& e : edges) {
+    std::snprintf(buf, sizeof buf, "%.9g", static_cast<double>(e.weight));
+    os << e.src << " " << e.dst << " " << buf << "\n";
+  }
+}
+
+std::string Scenario::to_text() const {
+  std::ostringstream os;
+  to_text(os);
+  return os.str();
+}
+
+Scenario Scenario::from_text(std::istream& is) {
+  auto fail = [](const std::string& why) {
+    throw std::invalid_argument("scenario parse error: " + why);
+  };
+  std::string line;
+  if (!std::getline(is, line) || line != "lazygraph-scenario v1") {
+    fail("missing 'lazygraph-scenario v1' header");
+  }
+  Scenario s;
+  auto expect_key = [&](const std::string& key) -> std::string {
+    std::string k, v;
+    if (!(is >> k >> v) || k != key) fail("expected key '" + key + "'");
+    return v;
+  };
+  s.seed = std::stoull(expect_key("seed"));
+  s.num_vertices = static_cast<vid_t>(std::stoul(expect_key("vertices")));
+  s.machines = static_cast<machine_t>(std::stoul(expect_key("machines")));
+  s.cut = cut_from_string(expect_key("cut"));
+  s.partition_seed = std::stoull(expect_key("partition_seed"));
+  s.split = expect_key("split") != "0";
+  s.program = program_kind_from_string(expect_key("program"));
+  s.source = static_cast<vid_t>(std::stoul(expect_key("source")));
+  s.kcore_k = static_cast<std::uint32_t>(std::stoul(expect_key("kcore_k")));
+  s.tol = std::stod(expect_key("tol"));
+  s.alpha = std::stod(expect_key("alpha"));
+  s.staleness = static_cast<std::uint32_t>(std::stoul(expect_key("staleness")));
+  s.interval_policy = interval_from_string(expect_key("interval"));
+  s.comm_policy = comm_from_string(expect_key("comm"));
+  const std::uint64_t num_edges = std::stoull(expect_key("edges"));
+  s.edges.reserve(num_edges);
+  for (std::uint64_t i = 0; i < num_edges; ++i) {
+    Edge e;
+    double w = 1.0;
+    if (!(is >> e.src >> e.dst >> w)) fail("truncated edge list");
+    if (e.src >= s.num_vertices || e.dst >= s.num_vertices) {
+      fail("edge endpoint out of range");
+    }
+    e.weight = static_cast<float>(w);
+    s.edges.push_back(e);
+  }
+  return s;
+}
+
+Scenario Scenario::from_text(const std::string& text) {
+  std::istringstream is(text);
+  return from_text(is);
+}
+
+namespace {
+
+/// Random graph from one of the generator families plus degenerate shapes.
+Graph random_graph(Rng& rng) {
+  const gen::WeightSpec unit{1.0f, 1.0f};
+  const gen::WeightSpec varied{0.5f, 9.5f};
+  const gen::WeightSpec w = rng.below(2) ? varied : unit;
+  switch (rng.below(9)) {
+    case 0: {  // power-law (social/web analogue)
+      const vid_t scale = static_cast<vid_t>(rng.range(4, 7));
+      return gen::rmat(scale, rng.range(2, 8), 0.57, 0.19, 0.19, rng(), w);
+    }
+    case 1: {  // power-law with exact edge count
+      const vid_t n = static_cast<vid_t>(rng.range(16, 180));
+      return gen::chung_lu(n, n * rng.range(1, 4),
+                           2.1 + 0.8 * rng.uniform(), rng(), w);
+    }
+    case 2:  // road-network analogue (long diameter)
+      return gen::road_lattice(static_cast<vid_t>(rng.range(3, 12)),
+                               static_cast<vid_t>(rng.range(3, 12)),
+                               0.5 * rng.uniform(), rng(), w);
+    case 3: {
+      const vid_t n = static_cast<vid_t>(rng.range(8, 200));
+      return gen::erdos_renyi(n, n * rng.range(0, 4), rng(), w);
+    }
+    case 4: return gen::path(static_cast<vid_t>(rng.range(2, 60)), w);
+    case 5: return gen::cycle(static_cast<vid_t>(rng.range(2, 60)), w);
+    case 6: return gen::star(static_cast<vid_t>(rng.range(3, 80)),
+                             /*bidirectional=*/rng.below(2) != 0);
+    case 7: return gen::complete(static_cast<vid_t>(rng.range(2, 12)));
+    default: {  // tiny arbitrary edge list, self-loops allowed
+      const vid_t n = static_cast<vid_t>(rng.range(1, 8));
+      std::vector<Edge> edges;
+      const int m = static_cast<int>(rng.range(0, 12));
+      for (int i = 0; i < m; ++i) {
+        edges.push_back({static_cast<vid_t>(rng.below(n)),
+                         static_cast<vid_t>(rng.below(n)),
+                         static_cast<float>(1.0 + rng.below(8))});
+      }
+      return Graph(n, std::move(edges));
+    }
+  }
+}
+
+}  // namespace
+
+Scenario make_scenario(std::uint64_t corpus_seed, std::uint64_t index) {
+  Rng rng(mix64(corpus_seed ^ mix64(index + 0x51ca7eb1)));
+  Scenario s;
+  s.seed = corpus_seed;
+
+  // --- graph ---
+  if (rng.below(40) == 0) {
+    // The empty graph and the edgeless graph: every engine must terminate.
+    s.num_vertices = static_cast<vid_t>(rng.range(0, 3));
+  } else {
+    Graph g = random_graph(rng);
+    s.num_vertices = g.num_vertices();
+    s.edges = g.edges();
+    if (rng.below(4) == 0 && s.num_vertices > 0) {
+      // Self-loops: legal in the user view, must not confuse replication.
+      const int loops = static_cast<int>(rng.range(1, 3));
+      for (int i = 0; i < loops; ++i) {
+        const vid_t v = static_cast<vid_t>(rng.below(s.num_vertices));
+        s.edges.push_back({v, v, 1.0f});
+      }
+    }
+    if (rng.below(4) == 0) {
+      // Isolated vertices: replicated nowhere, still need master results.
+      s.num_vertices += static_cast<vid_t>(rng.range(1, 8));
+    }
+  }
+
+  // --- partitioning ---
+  switch (rng.below(8)) {
+    case 0: s.machines = 1; break;  // degenerate: no replication at all
+    case 1:  // more machines than vertices
+      s.machines = static_cast<machine_t>(
+          std::min<std::uint64_t>(s.num_vertices + rng.range(1, 5), 16));
+      break;
+    default:
+      s.machines = static_cast<machine_t>(rng.range(2, 12));
+  }
+  using partition::CutKind;
+  constexpr CutKind kCuts[] = {CutKind::kRandom, CutKind::kGrid,
+                               CutKind::kCoordinated, CutKind::kOblivious,
+                               CutKind::kHybrid};
+  s.cut = kCuts[rng.below(5)];
+  s.partition_seed = rng();
+  s.split = rng.below(10) < 3;
+
+  // --- program ---
+  if (s.num_vertices == 0) {
+    // Source-based programs need a source vertex.
+    constexpr ProgramKind kSourceless[] = {ProgramKind::kConnectedComponents,
+                                           ProgramKind::kKcore,
+                                           ProgramKind::kPagerank};
+    s.program = kSourceless[rng.below(3)];
+  } else {
+    s.program = static_cast<ProgramKind>(rng.below(kNumProgramKinds));
+    s.source = static_cast<vid_t>(rng.below(s.num_vertices));
+  }
+  s.kcore_k = static_cast<std::uint32_t>(rng.range(1, 5));
+  s.tol = std::pow(10.0, -static_cast<double>(rng.range(3, 5)));
+  s.alpha = 0.2 + 0.5 * rng.uniform();
+
+  // --- engine knobs ---
+  s.staleness = static_cast<std::uint32_t>(
+      rng.below(4) == 0 ? rng.range(16, 64) : rng.range(1, 12));
+  using engine::IntervalPolicy;
+  constexpr IntervalPolicy kPolicies[] = {
+      IntervalPolicy::kAdaptive, IntervalPolicy::kAlwaysLazy,
+      IntervalPolicy::kNeverLazy};
+  s.interval_policy = kPolicies[rng.below(3)];
+  using engine::CommModePolicy;
+  constexpr CommModePolicy kComms[] = {CommModePolicy::kAdaptive,
+                                       CommModePolicy::kForceAllToAll,
+                                       CommModePolicy::kForceMirrorsToMaster};
+  s.comm_policy = kComms[rng.below(3)];
+  return s;
+}
+
+}  // namespace lazygraph::testing

@@ -1,0 +1,101 @@
+// Randomized cross-engine test scenarios: one fully materialized description
+// of "a graph, a partitioning, a program, and an engine configuration" that
+// the differential oracle (oracle.hpp) can run through all four engines and
+// the shrinker (shrinker.hpp) can minimize.
+//
+// Scenarios are value types with a stable text serialization, so a failing
+// case found by the fuzzer is replayable bit-for-bit from its dump alone —
+// independent of the generator version that produced it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "engine/comm_mode.hpp"
+#include "engine/interval_model.hpp"
+#include "graph/graph.hpp"
+#include "partition/partitioner.hpp"
+
+namespace lazygraph::testing {
+
+/// Which vertex program the scenario runs (one per src/algos header).
+enum class ProgramKind : std::uint8_t {
+  kSssp,
+  kBfs,
+  kConnectedComponents,
+  kKcore,
+  kPagerank,
+  kWidestPath,
+  kDiffusion,
+};
+inline constexpr int kNumProgramKinds = 7;
+
+const char* to_string(ProgramKind p);
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+ProgramKind program_kind_from_string(const std::string& s);
+
+/// One differential test case. The edge list is materialized (not a
+/// generator recipe) so the shrinker can delete edges and vertices while the
+/// case stays replayable.
+struct Scenario {
+  /// Provenance label: the corpus seed this case was generated from (kept
+  /// through shrinking so dumps can be traced back to a fuzzer run).
+  std::uint64_t seed = 0;
+
+  // --- graph (user view) ---
+  vid_t num_vertices = 0;
+  std::vector<Edge> edges;
+
+  // --- partitioning ---
+  machine_t machines = 2;
+  partition::CutKind cut = partition::CutKind::kCoordinated;
+  std::uint64_t partition_seed = 1;
+  /// Convert the edge-splitter's picks to parallel-edges mode for the lazy
+  /// engines (eager engines always run unsplit).
+  bool split = false;
+
+  // --- program ---
+  ProgramKind program = ProgramKind::kSssp;
+  vid_t source = 0;        // SSSP / BFS / widest-path / diffusion seed
+  std::uint32_t kcore_k = 3;
+  double tol = 1e-4;       // PageRank / diffusion scatter threshold
+  double alpha = 0.5;      // diffusion damping (< 1)
+
+  // --- engine knobs ---
+  std::uint32_t staleness = 4;  // lazy-vertex applies between coherency events
+  engine::IntervalPolicy interval_policy = engine::IntervalPolicy::kAdaptive;
+  engine::CommModePolicy comm_policy = engine::CommModePolicy::kAdaptive;
+
+  bool operator==(const Scenario&) const = default;
+
+  /// Materializes the user-view graph the engines run on. CC and k-core
+  /// operate on undirected graphs, so for those the edge list is
+  /// symmetrized (matching how the reference implementations are compared
+  /// against the engines everywhere else in the test suite).
+  Graph build_graph() const;
+
+  /// True for programs whose activation starts from `source` (these require
+  /// num_vertices > 0 and source < num_vertices).
+  bool needs_source() const;
+
+  /// One-line human summary ("seed=5 V=37 E=120 P=4 cut=grid prog=sssp ...").
+  std::string summary() const;
+
+  /// Stable text form (replayable with lazygraph_fuzz --replay=FILE).
+  void to_text(std::ostream& os) const;
+  std::string to_text() const;
+  /// Parses to_text output; throws std::invalid_argument on malformed input.
+  static Scenario from_text(std::istream& is);
+  static Scenario from_text(const std::string& text);
+};
+
+/// Deterministically generates scenario number `index` of the corpus rooted
+/// at `corpus_seed`. Covers random graph families (R-MAT, Chung-Lu,
+/// road-lattice, Erdos-Renyi, structured) and the degenerate shapes that
+/// historically break partitioned engines: the empty graph, self-loops,
+/// isolated vertices, a single machine, and more machines than vertices.
+Scenario make_scenario(std::uint64_t corpus_seed, std::uint64_t index);
+
+}  // namespace lazygraph::testing

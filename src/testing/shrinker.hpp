@@ -1,0 +1,31 @@
+// Greedy scenario minimizer: given a failing Scenario and a predicate that
+// reproduces the failure, removes machines, edges and vertices (ddmin-style
+// chunk deletion) and then simplifies the remaining knobs, keeping every
+// change that still fails. The result is the small, human-debuggable
+// counterexample the fuzzer prints.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "testing/scenario.hpp"
+
+namespace lazygraph::testing {
+
+/// Returns true when the (candidate) scenario still reproduces the failure
+/// under investigation. Typically wraps check_scenario().
+using FailurePredicate = std::function<bool(const Scenario&)>;
+
+struct ShrinkReport {
+  Scenario scenario;        // the minimized failing case
+  std::size_t attempts = 0;   // predicate evaluations spent
+  std::size_t accepted = 0;   // shrink steps that kept the failure
+};
+
+/// Minimizes `failing` under `still_fails`. `failing` itself must satisfy
+/// the predicate (if it does not, it is returned unchanged). The predicate
+/// is invoked at most `max_attempts` times, bounding total shrink cost.
+ShrinkReport shrink(const Scenario& failing, const FailurePredicate& still_fails,
+                    std::size_t max_attempts = 500);
+
+}  // namespace lazygraph::testing

@@ -6,6 +6,15 @@
 
 namespace lazygraph {
 
+namespace {
+// Pool whose worker_loop is running on this thread (null on external
+// threads). Lets parallel_for detect re-entrant calls from its own workers:
+// those must run inline — a worker that enqueues helper tasks and then
+// blocks on the join can starve when every other worker is itself blocked
+// inside a nested join, since nobody is left to drain the queue.
+thread_local const ThreadPool* current_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
@@ -27,6 +36,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  current_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -77,7 +87,7 @@ struct ForState {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
-  if (n == 1 || workers_.empty()) {
+  if (n == 1 || workers_.empty() || current_pool == this) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }

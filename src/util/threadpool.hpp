@@ -29,6 +29,9 @@ class ThreadPool {
 
   /// Runs body(i) for i in [0, n), blocking until all complete.
   /// Exceptions from body are rethrown (first one wins).
+  /// Re-entrant calls from one of this pool's own workers execute inline on
+  /// the calling thread instead of enqueueing helper tasks (a nested join
+  /// could otherwise starve with every worker blocked inside one).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
  private:

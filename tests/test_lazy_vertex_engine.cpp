@@ -134,5 +134,53 @@ TEST(LazyVertexEngine, WorksOnSplitGraphs) {
   testsupport::expect_sssp_exact(g, 0, r.data);
 }
 
+// Regression: the terminal convergence-detection cycle (drain finds nothing,
+// final flush delivers nothing) used to be counted as a superstep, so
+// result.supersteps disagreed with the trace's snapshot count by one.
+TEST(LazyVertexEngine, SuperstepCountMatchesTraceSnapshots) {
+  const Graph g = gen::rmat(7, 6, 0.57, 0.19, 0.19, 11, {1.0f, 5.0f});
+  const auto dg = build_dgraph(g, 4);
+  auto cl = make_cluster(4);
+  sim::Tracer tracer;
+  cl.set_tracer(&tracer);
+  const auto r =
+      engine::LazyVertexAsyncEngine(dg, algos::SSSP{.source = 0}, cl).run();
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(tracer.snapshots().size(), r.supersteps);
+  EXPECT_EQ(r.metrics.supersteps, r.supersteps);
+}
+
+// Regression: on drain cycles (all queues empty, flush_all_deltas reactivates
+// vertices) the superstep snapshot used to record the pre-flush queue length
+// of zero instead of the activations the flush just delivered.
+TEST(LazyVertexEngine, DrainCycleSnapshotsReportDeliveredActivations) {
+  // A path scattered across two machines (random cut, so plenty of vertices
+  // span both) with staleness high enough that deltas only ever cross the
+  // boundary via drain-cycle flushes: one machine's queue runs dry, the flush
+  // reactivates the boundary replicas, and the cycle that processes them must
+  // not be logged as having zero activations.
+  const Graph g = gen::path(40, {1.0f, 1.0f});
+  const auto dg = build_dgraph(g, 2, partition::CutKind::kRandom);
+  ASSERT_GT(dg.replication_factor(), 1.0);
+  auto cl = make_cluster(2);
+  sim::Tracer tracer;
+  cl.set_tracer(&tracer);
+  engine::LazyVertexOptions opts;
+  opts.staleness = 1000;  // never reach a per-vertex coherency event
+  const auto r =
+      engine::LazyVertexAsyncEngine(dg, algos::SSSP{.source = 0}, cl, opts)
+          .run();
+  ASSERT_TRUE(r.converged);
+  testsupport::expect_sssp_exact(g, 0, r.data);
+  // The far end of the path is only reachable through drain-cycle flushes.
+  ASSERT_GT(cl.metrics().vertex_coherency_events, 0u);
+  ASSERT_GE(tracer.snapshots().size(), 2u);
+  for (const sim::SuperstepSnapshot& snap : tracer.snapshots()) {
+    EXPECT_GT(snap.active_vertices, 0u)
+        << "superstep " << snap.superstep
+        << " did work but recorded zero active vertices";
+  }
+}
+
 }  // namespace
 }  // namespace lazygraph

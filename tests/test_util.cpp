@@ -109,6 +109,34 @@ TEST(ThreadPool, PropagatesExceptions) {
                std::runtime_error);
 }
 
+// Re-entrant parallel_for from a worker of the same pool must execute the
+// nested range inline: a worker that instead enqueued helper tasks and
+// blocked on the nested join could starve once every other worker was itself
+// parked inside a nested join. Guarded by the suite's ctest TIMEOUT, so a
+// reintroduced starvation shows up as a killed test rather than a hang.
+TEST(ThreadPool, NestedParallelForFromWorkersCompletes) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(16, [&](std::size_t) {
+      pool.parallel_for(4, [&](std::size_t) { ++total; });
+    });
+  });
+  EXPECT_EQ(total.load(), 8 * 16 * 4);
+}
+
+TEST(ThreadPool, NestedCallsFromManyOuterTasksDoNotStarve) {
+  // More outer tasks than workers, each joining a nested range — the shape
+  // that would deadlock if nested joins parked workers instead of running
+  // the nested body inline.
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(64, [&](std::size_t i) {
+    pool.parallel_for(32, [&](std::size_t) { ++hits[i]; });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 32);
+}
+
 TEST(ThreadPool, ReusableAcrossCalls) {
   ThreadPool pool(3);
   std::atomic<int> total{0};

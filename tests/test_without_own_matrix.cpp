@@ -1,0 +1,136 @@
+// Exercises without_own's idempotent-Sum fallback (engine/program.hpp): a
+// replica folding "the others' deltas" out of a mirrors-to-master total has
+// no Inverse for min/max-plus programs (SSSP, BFS, CC, widest-path) and
+// instead re-consumes the whole total, relying on idempotence. This matrix
+// pins the fixed points of every non-invertible program — plus k-core on the
+// Inverse path — under both lazy engines, with replica-spanning hub vertices,
+// forced mirrors-to-master exchanges, staleness=1 (maximum per-vertex
+// coherency traffic), and both with and without edge splitting.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "test_support.hpp"
+
+namespace lazygraph {
+namespace {
+
+using testsupport::build_dgraph;
+using testsupport::make_cluster;
+
+enum class Lazy { kBlock, kVertex };
+
+const char* to_string(Lazy l) {
+  return l == Lazy::kBlock ? "LazyBlock" : "LazyVertex";
+}
+
+/// Hub-heavy power-law graph on 8 machines: the hubs span most machines, so
+/// almost every coherency exchange has multiple contributing deltas and the
+/// nd > 1 without_own path runs constantly.
+struct Fixture {
+  Graph g;
+  partition::DistributedGraph dg;
+
+  explicit Fixture(bool split, bool symmetric)
+      : g(symmetric
+              ? gen::rmat(7, 8, 0.6, 0.18, 0.18, 23, {1.0f, 9.0f}).symmetrized()
+              : gen::rmat(7, 8, 0.6, 0.18, 0.18, 23, {1.0f, 9.0f})),
+        dg(build_dgraph(g, 8, partition::CutKind::kCoordinated, 7, split)) {}
+};
+
+template <class P>
+engine::RunResult<P> run_lazy(Lazy which,
+                              const partition::DistributedGraph& dg,
+                              const P& prog, sim::Cluster& cl) {
+  engine::RunConfig cfg;
+  cfg.kind = which == Lazy::kBlock ? engine::EngineKind::kLazyBlock
+                                   : engine::EngineKind::kLazyVertex;
+  // Force the mirrors-to-master pattern so every multi-delta exchange of the
+  // block engine goes through without_own; staleness=1 does the same for the
+  // vertex engine's per-vertex coherency events.
+  cfg.comm_policy = engine::CommModePolicy::kForceMirrorsToMaster;
+  cfg.staleness = 1;
+  return engine::run(cfg, dg, prog, cl);
+}
+
+class WithoutOwnMatrix
+    : public ::testing::TestWithParam<std::tuple<Lazy, bool>> {
+ protected:
+  Lazy lazy() const { return std::get<0>(GetParam()); }
+  bool split() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(WithoutOwnMatrix, SsspExact) {
+  const Fixture f(split(), /*symmetric=*/false);
+  ASSERT_GT(f.dg.replication_factor(), 1.0);
+  auto cl = make_cluster(8);
+  const auto r = run_lazy(lazy(), f.dg, algos::SSSP{.source = 0}, cl);
+  ASSERT_TRUE(r.converged);
+  testsupport::expect_sssp_exact(f.g, 0, r.data);
+}
+
+TEST_P(WithoutOwnMatrix, BfsExact) {
+  const Fixture f(split(), /*symmetric=*/false);
+  auto cl = make_cluster(8);
+  const auto r = run_lazy(lazy(), f.dg, algos::BFS{.source = 0}, cl);
+  ASSERT_TRUE(r.converged);
+  const auto expect = reference::bfs(f.g, 0);
+  for (vid_t v = 0; v < f.g.num_vertices(); ++v) {
+    EXPECT_EQ(r.data[v].depth, expect[v]) << "vertex " << v;
+  }
+}
+
+TEST_P(WithoutOwnMatrix, WidestPathExact) {
+  const Fixture f(split(), /*symmetric=*/false);
+  auto cl = make_cluster(8);
+  const auto r = run_lazy(lazy(), f.dg, algos::WidestPath{.source = 0}, cl);
+  ASSERT_TRUE(r.converged);
+  const auto expect = reference::widest_path(f.g, 0);
+  for (vid_t v = 0; v < f.g.num_vertices(); ++v) {
+    EXPECT_EQ(r.data[v].capacity, expect[v]) << "vertex " << v;
+  }
+}
+
+TEST_P(WithoutOwnMatrix, ConnectedComponentsExact) {
+  const Fixture f(split(), /*symmetric=*/true);
+  auto cl = make_cluster(8);
+  const auto r = run_lazy(lazy(), f.dg, algos::ConnectedComponents{}, cl);
+  ASSERT_TRUE(r.converged);
+  testsupport::expect_cc_exact(f.g, r.data);
+}
+
+// Control for the fallback's counterpart: k-core has an Inverse, so the same
+// forced-m2m matrix exercises the subtraction path next to the idempotent
+// one.
+TEST_P(WithoutOwnMatrix, KcoreExactOnInversePath) {
+  const Fixture f(split(), /*symmetric=*/true);
+  auto cl = make_cluster(8);
+  const auto r = run_lazy(lazy(), f.dg, algos::KCore{.k = 5}, cl);
+  ASSERT_TRUE(r.converged);
+  testsupport::expect_kcore_exact(f.g, 5, r.data);
+}
+
+TEST_P(WithoutOwnMatrix, ExercisesTheForcedCoherencyPath) {
+  const Fixture f(split(), /*symmetric=*/false);
+  auto cl = make_cluster(8);
+  const auto r = run_lazy(lazy(), f.dg, algos::SSSP{.source = 0}, cl);
+  ASSERT_TRUE(r.converged);
+  if (lazy() == Lazy::kBlock) {
+    EXPECT_GT(cl.metrics().m2m_exchanges, 0u);
+    EXPECT_EQ(cl.metrics().a2a_exchanges, 0u);
+  } else {
+    EXPECT_GT(cl.metrics().vertex_coherency_events, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LazyEngines, WithoutOwnMatrix,
+    ::testing::Combine(::testing::Values(Lazy::kBlock, Lazy::kVertex),
+                       ::testing::Values(false, true)),
+    [](const auto& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_" +
+             (std::get<1>(info.param) ? "split" : "unsplit");
+    });
+
+}  // namespace
+}  // namespace lazygraph
