@@ -75,6 +75,42 @@ void BM_LazyPagerank(benchmark::State& state) {
 }
 BENCHMARK(BM_LazyPagerank)->Arg(8)->Arg(48)->Unit(benchmark::kMillisecond);
 
+// The sweep-scaling cell (CI uploads its JSON as BENCH_sweep.json): one
+// all-active chunked apply+scatter sweep on a single machine holding the
+// full test graph, at 1/2/4/8 intra-machine threads. Items/sec ~ swept
+// edges/sec; the thread scaling is the tentpole's headline number.
+void BM_SweepScaling(benchmark::State& state) {
+  const auto tpm = static_cast<std::uint32_t>(state.range(0));
+  const Graph& g = test_graph();
+  const machine_t machines = 1;
+  const auto assignment = partition::assign_edges(
+      g, machines, {partition::CutKind::kCoordinated, 1});
+  const auto dg = partition::DistributedGraph::build(g, machines, assignment);
+  const partition::Part& part = dg.part(0);
+  sim::Cluster cluster({machines, {}, 0});
+  const algos::PageRankDelta prog{};
+  auto states = engine::make_states(dg, prog);
+  engine::PartState<algos::PageRankDelta>& s = states[0];
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (lvid_t v = 0; v < part.num_local(); ++v) {
+      engine::deposit_msg(prog, s, v, 1.0);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        engine::local_sweep(prog, part, s, engine::SweepMode::kSnapshot,
+                            {&cluster, tpm}));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(part.num_local_edges()));
+}
+BENCHMARK(BM_SweepScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ReferencePagerank(benchmark::State& state) {
   const Graph& g = test_graph();
   for (auto _ : state) {

@@ -11,10 +11,17 @@
 // replication factor grows with the machine count, Fig. 12e).
 //
 // The sweep is executed serially, which makes the run bit-deterministic; the
-// time model charges compute as if the machines ran concurrently.
+// time model charges compute as if the machines ran concurrently. Each round
+// is worklist-driven: round-start activations come from the frontiers
+// (sorted ascending per machine) and in-round activations *ahead* of the
+// (machine, master lvid) cursor join via a min-heap, so the merged
+// processing order — and therefore every result bit — matches the
+// historical whole-array scan.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "engine/local_sweep.hpp"
@@ -46,6 +53,9 @@ class AsyncEngine {
 
     RunResult<P> result;
     std::vector<std::uint64_t> work(p);
+    // Per machine: masters active at round start (sorted ascending) and a
+    // min-heap of masters activated mid-round ahead of the cursor.
+    std::vector<std::vector<lvid_t>> pending(p), heaps(p);
 
     for (std::uint64_t round = 0; round < opts_.max_rounds; ++round) {
       ++cluster_.metrics().supersteps;
@@ -54,13 +64,52 @@ class AsyncEngine {
       std::uint64_t msgs = 0, bytes = 0, applies = 0;
       std::fill(work.begin(), work.end(), 0);
 
+      // Round-start worklists: every flagged replica routes its master's
+      // coordinates. Behind-the-cursor activations of the *previous* round
+      // left their flags up, so they surface here.
+      for (auto& l : pending) l.clear();
+      for (machine_t r = 0; r < p; ++r) {
+        const partition::Part& rp = dg_.part(r);
+        PartState<P>& rs = states_[r];
+        cluster_.metrics().sweep_scanned +=
+            rs.frontier.for_each_flagged(rs.has_msg, [&](lvid_t u) {
+              pending[rp.master[u]].push_back(rp.master_lvid[u]);
+            });
+        rs.frontier.clear();
+      }
+      for (auto& l : pending) {
+        std::sort(l.begin(), l.end());
+        l.erase(std::unique(l.begin(), l.end()), l.end());
+      }
+
       for (machine_t m = 0; m < p; ++m) {
         const partition::Part& part = dg_.part(m);
         PartState<P>& s = states_[m];
-        for (lvid_t v = 0; v < part.num_local(); ++v) {
-          if (part.master[v] != m) continue;
+        auto& pend = pending[m];
+        auto& heap = heaps[m];
+        std::size_t next = 0;
+        bool have_last = false;
+        lvid_t last = 0;
+        // Merge the static round-start list with the in-round heap; both
+        // produce ascending lvids, so the merged cursor is monotone and
+        // duplicate entries (several mirrors of one vertex activating) pop
+        // adjacently — dedup by comparing with the previous pop.
+        while (next < pend.size() || !heap.empty()) {
+          lvid_t v;
+          if (next < pend.size() &&
+              (heap.empty() || pend[next] <= heap.front())) {
+            v = pend[next++];
+          } else {
+            std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+            v = heap.back();
+            heap.pop_back();
+          }
+          if (have_last && v == last) continue;  // duplicate entry
+          last = v;
+          have_last = true;
 
-          // Eager gather: is the vertex active anywhere?
+          // Eager gather: is the vertex active anywhere? (Stale entries —
+          // flags consumed since enqueueing — drop out here.)
           bool have = s.has_msg[v];
           for (const auto& [r, rl] : part.remote_replicas[v]) {
             have = have || states_[r].has_msg[rl];
@@ -103,14 +152,27 @@ class AsyncEngine {
           if (!payload) continue;
 
           // Scatter on every replica along its local out-edges, with
-          // immediate visibility to later vertices in this round.
+          // immediate visibility to later vertices in this round: a fresh
+          // activation strictly ahead of the (m, v) cursor joins its master
+          // machine's heap; at-or-behind ones stay in the frontier for the
+          // next round's derivation — exactly what a scan cursor would see.
           auto scatter_at = [&](machine_t rm, lvid_t rv) {
             const partition::Part& rpart = dg_.part(rm);
             PartState<P>& rs = states_[rm];
             for (std::uint64_t e = rpart.offsets[rv];
                  e < rpart.offsets[rv + 1]; ++e) {
-              deposit_msg(prog_, rs, rpart.targets[e],
-                          prog_.scatter(*payload, info, rpart.weights[e]));
+              const lvid_t u = rpart.targets[e];
+              if (deposit_msg(prog_, rs, u,
+                              prog_.scatter(*payload, info,
+                                            rpart.weights[e]))) {
+                const machine_t mm = rpart.master[u];
+                const lvid_t ml = rpart.master_lvid[u];
+                if (mm > m || (mm == m && ml > v)) {
+                  auto& h = heaps[mm];
+                  h.push_back(ml);
+                  std::push_heap(h.begin(), h.end(), std::greater<>{});
+                }
+              }
               ++work[rm];
             }
           };

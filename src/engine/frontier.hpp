@@ -1,0 +1,118 @@
+// Active-vertex frontier: the sparse/dense worklist behind every engine's
+// sweep. Tracks which local replicas hold a pending message (or delta) so
+// sparse supersteps touch O(frontier) vertices instead of scanning all
+// O(num_local) flag slots.
+//
+// Representation switch (PowerGraph-style): activations are recorded in a
+// sparse lvid list until the list grows past a density threshold, at which
+// point the frontier degrades to "dense" — the flag array itself *is* the
+// frontier and consumers fall back to scanning it. `clear()` (called when a
+// sweep fully consumes the frontier) resets to sparse.
+//
+// Invariants the engines maintain:
+//   - flag set  =>  the lvid is in the sparse list, or the frontier is dense
+//     (every flag-setting path goes through deposit_msg/deposit_delta, which
+//     activate on the 0->1 transition).
+//   - The converse does NOT hold: sparse entries may be stale (their flag was
+//     consumed since) or duplicated (consumed then re-activated). Consumers
+//     must guard on the flag, and dedup (sort_unique) where double-visiting
+//     would double work.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace lazygraph::engine {
+
+class Frontier {
+ public:
+  /// Re-arms the frontier for a vertex set of size `n`: sparse, tracking,
+  /// empty. The density threshold scales with n (but stays useful for tiny
+  /// parts).
+  void reset(lvid_t n) {
+    n_ = n;
+    threshold_ = std::max<std::size_t>(64, static_cast<std::size_t>(n) / 8);
+    list_.clear();
+    dense_ = false;
+    tracking_ = true;
+  }
+
+  /// Turns activation tracking off (and drops any recorded state): engines
+  /// with their own worklists (LazyVertexAsync's queues) disable the message
+  /// frontier so its list cannot grow unboundedly between consumers.
+  void set_tracking(bool on) {
+    tracking_ = on;
+    if (!on) {
+      list_.clear();
+      dense_ = false;
+    }
+  }
+  bool tracking() const { return tracking_; }
+
+  bool is_dense() const { return dense_; }
+
+  /// Records a fresh activation (callers only invoke this on the flag's 0->1
+  /// transition). Crossing the density threshold drops the list and goes
+  /// dense — the flags carry the information from then on.
+  void activate(lvid_t v) {
+    if (!tracking_ || dense_) return;
+    if (list_.size() >= threshold_) {
+      dense_ = true;
+      list_.clear();
+      return;
+    }
+    list_.push_back(v);
+  }
+
+  /// Marks the frontier fully consumed: empties the list and, because every
+  /// flag is down, a dense frontier becomes sparse again.
+  void clear() {
+    list_.clear();
+    dense_ = false;
+  }
+
+  /// Sorts and dedups the sparse entry list (no-op when dense). Consumers
+  /// that need ascending visit order call this before iterating.
+  void sort_unique() {
+    if (dense_) return;
+    std::sort(list_.begin(), list_.end());
+    list_.erase(std::unique(list_.begin(), list_.end()), list_.end());
+  }
+
+  /// The sparse entry list; meaningful only while !is_dense(). Exposed
+  /// mutably for the Gauss-Seidel sweep's in-place carry compaction.
+  std::vector<lvid_t>& entries() { return list_; }
+  const std::vector<lvid_t>& entries() const { return list_; }
+
+  /// Calls fn(v) for every v whose flag is up: a flag scan when dense, an
+  /// entry walk when sparse. Sparse duplicates reach fn once per live entry —
+  /// callers dedup downstream where that matters. Returns the number of
+  /// candidate slots examined (the "scan work" SweepCounters report).
+  template <class Fn>
+  std::size_t for_each_flagged(const std::vector<std::uint8_t>& flags,
+                               Fn&& fn) const {
+    if (dense_ || !tracking_) {
+      for (lvid_t v = 0; v < n_; ++v) {
+        if (flags[v]) fn(v);
+      }
+      return n_;
+    }
+    for (const lvid_t v : list_) {
+      if (flags[v]) fn(v);
+    }
+    return list_.size();
+  }
+
+ private:
+  lvid_t n_ = 0;
+  std::size_t threshold_ = 64;
+  bool dense_ = false;
+  bool tracking_ = true;
+  std::vector<lvid_t> list_;
+};
+
+}  // namespace lazygraph::engine

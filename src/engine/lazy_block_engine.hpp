@@ -19,9 +19,18 @@
 //
 // The adaptive interval model (Section 4.2.1) decides when lazy mode turns
 // on; per Algorithm 1 line 16 it is sticky once enabled.
+//
+// All sweeps are frontier-driven, and threads_per_machine > 1 runs them
+// chunk-parallel. Note the thread budget is an *algorithm* knob here (like
+// staleness): a parallel Stage 1 uses snapshot sub-sweeps instead of
+// Gauss-Seidel ones, which changes the (equally valid) intermediate
+// schedules — but for any fixed budget the run is bit-deterministic across
+// cluster thread counts.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "engine/comm_mode.hpp"
@@ -36,6 +45,9 @@ struct LazyOptions {
   std::uint64_t max_supersteps = 1'000'000;
   IntervalModelConfig interval = {};
   CommModePolicy comm_policy = CommModePolicy::kAdaptive;
+  /// Intra-machine thread budget for the local sweeps. Values > 1 switch
+  /// Stage 1 from Gauss-Seidel to snapshot sub-sweeps (see header comment).
+  std::uint32_t threads_per_machine = 1;
 };
 
 template <VertexProgram P>
@@ -57,9 +69,12 @@ class LazyBlockAsyncEngine {
     const machine_t p = dg_.num_machines();
     states_ = make_states(dg_, prog_);
     init_lazy_messages(prog_, dg_, states_);
+    exch_pending_.assign(p, {});
+    exch_fresh_.assign(p, {});
+    const SweepExec exec{&cluster_, opts_.threads_per_machine};
 
     RunResult<P> result;
-    std::vector<std::uint64_t> work(p), applies(p), subiters(p);
+    std::vector<std::uint64_t> work(p), applies(p), subiters(p), scanned(p);
     bool do_local = false;  // the paper's first iteration skips Stage 1
 
     for (std::uint64_t step = 0; step < opts_.max_supersteps; ++step) {
@@ -72,6 +87,7 @@ class LazyBlockAsyncEngine {
         std::fill(work.begin(), work.end(), 0);
         std::fill(applies.begin(), applies.end(), 0);
         std::fill(subiters.begin(), subiters.end(), 0);
+        std::fill(scanned.begin(), scanned.end(), 0);
         const double first_iter_seconds = first_iter_seconds_;
         cluster_.parallel_machines([&](machine_t m) {
           const partition::Part& part = dg_.part(m);
@@ -79,7 +95,9 @@ class LazyBlockAsyncEngine {
           std::uint64_t budget = 0;
           bool first = true;
           for (;;) {
-            const SweepCounters c = local_sweep(prog_, part, s);
+            const SweepCounters c =
+                local_sweep(prog_, part, s, SweepMode::kGaussSeidel, exec);
+            scanned[m] += c.scanned;
             if (c.work == 0) break;
             work[m] += c.work;
             applies[m] += c.applies;
@@ -96,6 +114,7 @@ class LazyBlockAsyncEngine {
         for (machine_t m = 0; m < p; ++m) {
           cluster_.metrics().applies += applies[m];
           cluster_.metrics().local_subiterations += subiters[m];
+          cluster_.metrics().sweep_scanned += scanned[m];
         }
       }
 
@@ -123,14 +142,19 @@ class LazyBlockAsyncEngine {
       // complete merged accumulator exactly once.
       std::fill(work.begin(), work.end(), 0);
       std::fill(applies.begin(), applies.end(), 0);
+      std::fill(scanned.begin(), scanned.end(), 0);
       cluster_.parallel_machines([&](machine_t m) {
         const SweepCounters c = local_sweep(prog_, dg_.part(m), states_[m],
-                                            SweepMode::kSnapshot);
+                                            SweepMode::kSnapshot, exec);
         work[m] = c.work;
         applies[m] = c.applies;
+        scanned[m] = c.scanned;
       });
       cluster_.charge_compute(sim::SpanKind::kApplySweep, work);
-      for (machine_t m = 0; m < p; ++m) cluster_.metrics().applies += applies[m];
+      for (machine_t m = 0; m < p; ++m) {
+        cluster_.metrics().applies += applies[m];
+        cluster_.metrics().sweep_scanned += scanned[m];
+      }
       if (inspector_) inspector_(result.supersteps, states_);
 
       // "We collect the execution time T of the first iteration ... online":
@@ -180,24 +204,46 @@ class LazyBlockAsyncEngine {
   // equations, pick a mode, deliver others' deltas into every replica's
   // message slot, clear deltas. Parallelized by master ownership: vertex v is
   // handled exclusively by its master's machine, so all reads/writes of v's
-  // replica slots are race-free. Returns the comm-mode decision it made.
+  // replica slots are race-free (frontier appends are NOT — fresh
+  // activations are buffered per worker and applied serially after the
+  // join). Only vertices on the delta frontiers are visited. Returns the
+  // comm-mode decision it made.
   CommDecision exchange_deltas() {
     const machine_t p = dg_.num_machines();
     constexpr std::uint64_t kDeltaBytes = wire_bytes<typename P::Msg>();
+
+    // Derive per-master worklists from the delta frontiers. Every raised
+    // has_delta flag is cleared by the delivery pass below (deltas only
+    // exist on spanning vertices, all of which it visits), so the frontiers
+    // can be dropped now.
+    for (auto& l : exch_pending_) l.clear();
+    for (machine_t r = 0; r < p; ++r) {
+      const partition::Part& rp = dg_.part(r);
+      PartState<P>& rs = states_[r];
+      cluster_.metrics().sweep_scanned +=
+          rs.delta_frontier.for_each_flagged(rs.has_delta, [&](lvid_t u) {
+            exch_pending_[rp.master[u]].push_back(rp.master_lvid[u]);
+          });
+      rs.delta_frontier.clear();
+    }
+    cluster_.parallel_machines([&](machine_t m) {
+      auto& l = exch_pending_[m];
+      std::sort(l.begin(), l.end());
+      l.erase(std::unique(l.begin(), l.end()), l.end());
+    });
 
     // Pass 1: volume estimates (read-only).
     std::vector<std::uint64_t> est_a2a(p, 0), est_m2m(p, 0);
     cluster_.parallel_machines([&](machine_t m) {
       const partition::Part& part = dg_.part(m);
-      for (lvid_t v = 0; v < part.num_local(); ++v) {
-        if (part.master[v] != m) continue;
+      for (const lvid_t v : exch_pending_[m]) {
         const std::uint32_t rnum = part.num_replicas(v);
         if (rnum <= 1) continue;
         std::uint32_t nd = states_[m].has_delta[v] ? 1 : 0;
         for (const auto& [r, rl] : part.remote_replicas[v]) {
           nd += states_[r].has_delta[rl] ? 1 : 0;
         }
-        if (nd == 0) continue;
+        if (nd == 0) continue;  // stale worklist entry
         est_a2a[m] += static_cast<std::uint64_t>(nd) * (rnum - 1) * kDeltaBytes;
         est_m2m[m] += static_cast<std::uint64_t>(nd + rnum - 2) * kDeltaBytes;
       }
@@ -213,10 +259,11 @@ class LazyBlockAsyncEngine {
 
     // Pass 2: deliver and clear.
     std::vector<std::uint64_t> msgs(p, 0), bytes(p, 0);
+    for (auto& f : exch_fresh_) f.clear();
     cluster_.parallel_machines([&](machine_t m) {
       const partition::Part& part = dg_.part(m);
-      for (lvid_t v = 0; v < part.num_local(); ++v) {
-        if (part.master[v] != m) continue;
+      auto& fresh = exch_fresh_[m];
+      for (const lvid_t v : exch_pending_[m]) {
         const std::uint32_t rnum = part.num_replicas(v);
         if (rnum <= 1) continue;
 
@@ -244,19 +291,22 @@ class LazyBlockAsyncEngine {
           fold(r, rl);
         }
         if (!self_done) fold(m, v);
-        if (nd == 0) continue;
+        if (nd == 0) continue;  // stale worklist entry
 
         // Deliver "others' deltas" to every replica and clear its delta.
+        // Raw deposits: the target frontiers belong to other machines, so
+        // fresh activations are buffered and appended after the join.
         auto deliver = [&](machine_t rm, lvid_t rv) {
           PartState<P>& rs = states_[rm];
           if (rs.has_delta[rv]) {
-            if (nd > 1) {
-              deposit_msg(prog_, rs, rv,
-                          without_own(prog_, total, rs.delta[rv]));
+            if (nd > 1 &&
+                deposit_msg_raw(prog_, rs, rv,
+                                without_own(prog_, total, rs.delta[rv]))) {
+              fresh.emplace_back(rm, rv);
             }
             rs.has_delta[rv] = 0;
-          } else {
-            deposit_msg(prog_, rs, rv, total);
+          } else if (deposit_msg_raw(prog_, rs, rv, total)) {
+            fresh.emplace_back(rm, rv);
           }
         };
         deliver(m, v);
@@ -276,6 +326,11 @@ class LazyBlockAsyncEngine {
         }
       }
     });
+    for (machine_t m = 0; m < p; ++m) {
+      for (const auto& [rm, rv] : exch_fresh_[m]) {
+        states_[rm].frontier.activate(rv);
+      }
+    }
     std::uint64_t total_msgs = 0, total_bytes = 0;
     for (machine_t m = 0; m < p; ++m) {
       total_msgs += msgs[m];
@@ -292,6 +347,8 @@ class LazyBlockAsyncEngine {
   LazyOptions opts_;
   IntervalModel interval_;
   std::vector<PartState<P>> states_;
+  std::vector<std::vector<lvid_t>> exch_pending_;
+  std::vector<std::vector<std::pair<machine_t, lvid_t>>> exch_fresh_;
   CoherencyInspector<P> inspector_;
   double first_iter_seconds_ = 0.0;
 };

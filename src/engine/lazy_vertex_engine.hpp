@@ -12,6 +12,7 @@
 // terminates the run or reactivates vertices).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -46,6 +47,7 @@ class LazyVertexAsyncEngine {
     queues_.assign(p, {});
     in_queue_.resize(p);
     applies_since_.resize(p);
+    flush_pending_.assign(p, {});
     for (machine_t m = 0; m < p; ++m) {
       const lvid_t n = dg_.part(m).num_local();
       in_queue_[m].assign(n, 0);
@@ -53,6 +55,10 @@ class LazyVertexAsyncEngine {
       for (lvid_t v = 0; v < n; ++v) {
         if (states_[m].has_msg[v]) enqueue(m, v);
       }
+      // The queues are this engine's activation worklist; turn message
+      // frontier tracking off so its (never-consumed) list cannot grow
+      // unboundedly. The delta frontiers stay on — they drive the flush.
+      states_[m].frontier.set_tracking(false);
     }
 
     RunResult<P> result;
@@ -217,13 +223,34 @@ class LazyVertexAsyncEngine {
   }
 
   /// Flushes every vertex with an outstanding delta (master-driven so each
-  /// vertex is visited once). Returns whether anything was delivered.
+  /// vertex is visited once), found through the delta frontiers instead of
+  /// scanning every replica. Unlike the historical full scan, masters with
+  /// no outstanding delta anywhere are not visited, so their staleness
+  /// counters are not reset at a flush — a deterministic schedule change
+  /// with the same termination condition (flushes deliver exactly the
+  /// outstanding deltas either way). Returns whether anything was delivered.
   bool flush_all_deltas(std::vector<std::uint64_t>& work) {
+    const machine_t p = dg_.num_machines();
+    for (auto& l : flush_pending_) l.clear();
+    for (machine_t r = 0; r < p; ++r) {
+      const partition::Part& rp = dg_.part(r);
+      PartState<P>& rs = states_[r];
+      cluster_.metrics().sweep_scanned +=
+          rs.delta_frontier.for_each_flagged(rs.has_delta, [&](lvid_t u) {
+            flush_pending_[rp.master[u]].push_back(rp.master_lvid[u]);
+          });
+      // Every flagged delta below is cleared by its coherency event, so the
+      // worklist can be dropped now.
+      rs.delta_frontier.clear();
+    }
     bool delivered = false;
-    for (machine_t m = 0; m < dg_.num_machines(); ++m) {
+    for (machine_t m = 0; m < p; ++m) {
       const partition::Part& part = dg_.part(m);
-      for (lvid_t v = 0; v < part.num_local(); ++v) {
-        if (part.master[v] != m || part.num_replicas(v) <= 1) continue;
+      auto& l = flush_pending_[m];
+      std::sort(l.begin(), l.end());
+      l.erase(std::unique(l.begin(), l.end()), l.end());
+      for (const lvid_t v : l) {
+        if (part.num_replicas(v) <= 1) continue;
         delivered |= coherency_event(m, v, work);
       }
     }
@@ -238,6 +265,7 @@ class LazyVertexAsyncEngine {
   std::vector<std::deque<lvid_t>> queues_;
   std::vector<std::vector<std::uint8_t>> in_queue_;
   std::vector<std::vector<std::uint32_t>> applies_since_;
+  std::vector<std::vector<lvid_t>> flush_pending_;
   CoherencyInspector<P> inspector_;
   std::uint64_t msgs_ = 0, bytes_ = 0;
 };

@@ -4,18 +4,28 @@
 // operator). One-edge-mode deposits also accumulate into the target's delta
 // (when the target spans machines); parallel-edge deposits do not — they are
 // already replicated on every machine of the target.
+//
+// Two executions of the same sweep:
+//   - sweep_gauss_seidel: serial, frontier-driven worklist in ascending lvid
+//     order; deposits are visible to later vertices of the same sweep.
+//   - sweep_chunked: snapshot semantics, deterministically parallel. The
+//     entry frontier is split into fixed-size chunks; each worker stages its
+//     deposits in chunk-private buffers bucketed by target range, and the
+//     merge folds every target's messages in (chunk asc, emission asc)
+//     order. That per-target fold order equals the serial emission order, so
+//     results are bit-identical for ANY thread count and ANY range count —
+//     ranges only redistribute which thread performs a fold, never its order.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <vector>
 
 #include "engine/state.hpp"
 
 namespace lazygraph::engine {
-
-struct SweepCounters {
-  std::uint64_t work = 0;     // applies + edge traversals
-  std::uint64_t applies = 0;  // vertex apply invocations
-};
 
 /// Initialization placement for the lazy engines: vertex init messages go to
 /// every replica (replicated like a parallel-edge delivery, no delta), edge
@@ -77,6 +87,9 @@ enum class SweepMode {
   /// Deposits made during the sweep are visible to later vertices of the
   /// same sweep — the paper's local computation stage ("new local views
   /// visible to local neighbours immediately"). Fast local convergence.
+  /// Requesting more than one thread switches to snapshot semantics (the
+  /// thread budget is an algorithm knob, like staleness — Gauss-Seidel's
+  /// in-sweep dependency chain cannot be parallelized deterministically).
   kGaussSeidel,
   /// Only vertices with a message at sweep entry are processed; everything
   /// deposited during the sweep waits for the next round. This is Algorithm
@@ -87,13 +100,208 @@ enum class SweepMode {
   kSnapshot,
 };
 
-/// One apply+scatter sweep on machine `m` over replicas with pending
-/// messages (in lvid order; deterministic).
+/// Items per worker chunk in the deterministic parallel sweep. Fixed (never
+/// derived from the thread count) so the chunk decomposition — and with it
+/// the merge order — is identical across thread counts.
+inline constexpr std::size_t kSweepChunk = 256;
+
+/// Intra-machine execution budget for a sweep: which cluster's pool to
+/// borrow and how many threads this machine may use. Default = serial.
+struct SweepExec {
+  const sim::Cluster* cluster = nullptr;
+  std::uint32_t threads = 1;
+};
+
+/// Runs body(begin, end) over [0, n) in kSweepChunk-aligned slices, on the
+/// cluster pool when the exec budget allows, inline otherwise.
+inline void run_chunks(const SweepExec& exec, std::size_t n,
+                       std::size_t chunk_size,
+                       const std::function<void(std::size_t, std::size_t)>& body) {
+  if (exec.cluster != nullptr && exec.threads > 1) {
+    exec.cluster->run_chunks(n, chunk_size, exec.threads, body);
+    return;
+  }
+  for (std::size_t b = 0; b < n; b += chunk_size) {
+    body(b, std::min(n, b + chunk_size));
+  }
+}
+
+/// Write handle a chunk worker stages its deposits through: (target, msg)
+/// pairs land in this chunk's private buckets, partitioned by target range
+/// so merge workers own disjoint targets.
+template <class Msg>
+class ChunkEmitter {
+ public:
+  ChunkEmitter(SweepScratch<Msg>& sc, std::size_t chunk, std::size_t nranges,
+               lvid_t n)
+      : sc_(sc), base_(chunk * nranges), nranges_(nranges), n_(n ? n : 1) {}
+
+  void msg(lvid_t v, const Msg& m) {
+    sc_.buckets[base_ + range_of(v)].msgs.emplace_back(v, m);
+  }
+  void delta(lvid_t v, const Msg& m) {
+    sc_.buckets[base_ + range_of(v)].deltas.emplace_back(v, m);
+  }
+
+ private:
+  std::size_t range_of(lvid_t v) const {
+    return static_cast<std::size_t>(v) * nranges_ / n_;
+  }
+
+  SweepScratch<Msg>& sc_;
+  const std::size_t base_;
+  const std::size_t nranges_;
+  const std::size_t n_;
+};
+
+/// The deterministic chunk-and-ordered-merge engine: runs
+/// produce(i, emitter, counters) for every item i in [0, n_items), staging
+/// all deposits, then folds them into s.msg / s.delta.
+///
+/// Stage A (parallel over chunks): workers run `produce`, staging deposits
+/// in chunk-private buckets and counting into chunk-private counters.
+/// Stage B (parallel over target ranges): each range worker folds its
+/// targets' staged pairs in (chunk asc, emission asc) order via the raw
+/// deposits, recording fresh activations per range.
+/// Stage C (serial): activations are appended to the frontiers (their lists
+/// are not thread-safe) and counters folded in chunk order.
+///
+/// `produce` may freely mutate per-item-exclusive state (s.vdata[item's
+/// vertex]) but must route every msg/delta deposit through the emitter.
+template <VertexProgram P, class Produce>
+SweepCounters chunked_deposit_pass(const P& prog, const partition::Part& part,
+                                   PartState<P>& s, std::size_t n_items,
+                                   const SweepExec& exec, Produce&& produce) {
+  SweepCounters c;
+  if (n_items == 0) return c;
+  auto& sc = s.scratch;
+  const std::size_t nchunks = (n_items + kSweepChunk - 1) / kSweepChunk;
+  // Range count caps the merge fanout; it does NOT affect results (per-target
+  // fold order is range-independent), so deriving it from the budget is safe.
+  const std::size_t nranges =
+      std::max<std::size_t>(1, std::min<std::size_t>(exec.threads, 16));
+  const std::size_t need = nchunks * nranges;
+  if (sc.buckets.size() < need) sc.buckets.resize(need);  // grow-only pool
+  for (std::size_t b = 0; b < need; ++b) {
+    sc.buckets[b].msgs.clear();
+    sc.buckets[b].deltas.clear();
+  }
+  sc.chunk_counters.assign(nchunks, SweepCounters{});
+  if (sc.msg_activations.size() < nranges) sc.msg_activations.resize(nranges);
+  if (sc.delta_activations.size() < nranges) {
+    sc.delta_activations.resize(nranges);
+  }
+  for (std::size_t r = 0; r < nranges; ++r) {
+    sc.msg_activations[r].clear();
+    sc.delta_activations[r].clear();
+  }
+
+  const lvid_t n = part.num_local();
+  run_chunks(exec, n_items, kSweepChunk,
+             [&](std::size_t begin, std::size_t end) {
+               const std::size_t ci = begin / kSweepChunk;
+               ChunkEmitter<typename P::Msg> em(sc, ci, nranges, n);
+               SweepCounters& cc = sc.chunk_counters[ci];
+               for (std::size_t i = begin; i < end; ++i) {
+                 produce(i, em, cc);
+               }
+             });
+
+  run_chunks(exec, nranges, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      auto& fresh_msgs = sc.msg_activations[r];
+      auto& fresh_deltas = sc.delta_activations[r];
+      for (std::size_t ci = 0; ci < nchunks; ++ci) {
+        const auto& bucket = sc.buckets[ci * nranges + r];
+        for (const auto& [v, m] : bucket.msgs) {
+          if (deposit_msg_raw(prog, s, v, m)) fresh_msgs.push_back(v);
+        }
+        for (const auto& [v, m] : bucket.deltas) {
+          if (deposit_delta_raw(prog, s, v, m)) fresh_deltas.push_back(v);
+        }
+      }
+    }
+  });
+
+  for (std::size_t r = 0; r < nranges; ++r) {
+    for (const lvid_t v : sc.msg_activations[r]) s.frontier.activate(v);
+    for (const lvid_t v : sc.delta_activations[r]) {
+      s.delta_frontier.activate(v);
+    }
+  }
+  for (const SweepCounters& cc : sc.chunk_counters) {
+    c.work += cc.work;
+    c.applies += cc.applies;
+    c.scanned += cc.scanned;
+  }
+  return c;
+}
+
+/// Snapshot-semantics sweep via the chunked pass: collect the entry frontier
+/// in ascending lvid order, then apply+scatter it chunk-parallel.
+/// Bit-identical to a serial snapshot sweep for every thread count.
 template <VertexProgram P>
-SweepCounters local_sweep(const P& prog, const partition::Part& part,
-                          PartState<P>& s,
-                          SweepMode mode = SweepMode::kGaussSeidel,
-                          std::vector<lvid_t>* scratch = nullptr) {
+SweepCounters sweep_chunked(const P& prog, const partition::Part& part,
+                            PartState<P>& s, const SweepExec& exec) {
+  SweepCounters c;
+  const lvid_t n = part.num_local();
+  auto& sc = s.scratch;
+  sc.snapshot.clear();
+  sc.accums.clear();
+  if (s.frontier.is_dense() || !s.frontier.tracking()) {
+    for (lvid_t v = 0; v < n; ++v) {
+      if (s.has_msg[v]) sc.snapshot.push_back(v);
+    }
+    c.scanned += n;
+  } else {
+    s.frontier.sort_unique();
+    c.scanned += s.frontier.entries().size();
+    for (const lvid_t v : s.frontier.entries()) {
+      if (s.has_msg[v]) sc.snapshot.push_back(v);
+    }
+  }
+  for (const lvid_t v : sc.snapshot) {
+    sc.accums.push_back(s.msg[v]);
+    s.has_msg[v] = 0;
+  }
+  s.frontier.clear();  // fully consumed; deposits below re-arm it
+
+  const SweepCounters folded = chunked_deposit_pass(
+      prog, part, s, sc.snapshot.size(), exec,
+      [&](std::size_t i, ChunkEmitter<typename P::Msg>& em,
+          SweepCounters& cc) {
+        const lvid_t v = sc.snapshot[i];
+        const VertexInfo info = vertex_info<P>(part, v);
+        ++cc.applies;
+        ++cc.work;
+        const auto payload = prog.apply(s.vdata[v], info, sc.accums[i]);
+        if (!payload) return;
+        for (std::uint64_t e = part.offsets[v]; e < part.offsets[v + 1];
+             ++e) {
+          const lvid_t u = part.targets[e];
+          const typename P::Msg out =
+              prog.scatter(*payload, info, part.weights[e]);
+          em.msg(u, out);
+          if (!part.parallel_mode[e] && part.num_replicas(u) > 1) {
+            em.delta(u, out);
+          }
+          ++cc.work;
+        }
+      });
+  c.work += folded.work;
+  c.applies += folded.applies;
+  c.scanned += folded.scanned;
+  return c;
+}
+
+/// Serial Gauss-Seidel sweep, frontier-driven. Processes pending vertices in
+/// ascending lvid order (a min-heap worklist when sparse, a flag scan when
+/// dense), which reproduces the historical whole-array scan bit-for-bit:
+/// fresh activations *ahead* of the cursor join this sweep, activations at
+/// or behind it carry to the next sweep — exactly what a scan would do.
+template <VertexProgram P>
+SweepCounters sweep_gauss_seidel(const P& prog, const partition::Part& part,
+                                 PartState<P>& s) {
   SweepCounters c;
   const lvid_t n = part.num_local();
 
@@ -105,7 +313,8 @@ SweepCounters local_sweep(const P& prog, const partition::Part& part,
     if (!payload) return;
     for (std::uint64_t e = part.offsets[v]; e < part.offsets[v + 1]; ++e) {
       const lvid_t u = part.targets[e];
-      const typename P::Msg out = prog.scatter(*payload, info, part.weights[e]);
+      const typename P::Msg out =
+          prog.scatter(*payload, info, part.weights[e]);
       deposit_msg(prog, s, u, out);
       if (!part.parallel_mode[e] && part.num_replicas(u) > 1) {
         deposit_delta(prog, s, u, out);
@@ -114,31 +323,86 @@ SweepCounters local_sweep(const P& prog, const partition::Part& part,
     }
   };
 
-  if (mode == SweepMode::kSnapshot) {
-    // Capture (vertex, accumulator) pairs up front: applies in this sweep see
-    // exactly the messages present at entry, deposits wait for the next round.
-    std::vector<lvid_t> local_scratch;
-    std::vector<lvid_t>& snapshot = scratch ? *scratch : local_scratch;
-    snapshot.clear();
-    std::vector<typename P::Msg> accums;
-    for (lvid_t v = 0; v < n; ++v) {
-      if (!s.has_msg[v]) continue;
-      snapshot.push_back(v);
-      accums.push_back(s.msg[v]);
-      s.has_msg[v] = 0;
-    }
-    for (std::size_t i = 0; i < snapshot.size(); ++i) {
-      process(snapshot[i], accums[i]);
-    }
-  } else {
+  if (s.frontier.is_dense() || !s.frontier.tracking()) {
+    // Dense: the flags are the frontier. Behind-deposits leave their flags up
+    // for the next sweep, so the frontier stays dense (invariant intact).
     for (lvid_t v = 0; v < n; ++v) {
       if (!s.has_msg[v]) continue;
       const typename P::Msg m = s.msg[v];
       s.has_msg[v] = 0;
       process(v, m);
     }
+    c.scanned += n;
+    return c;
+  }
+
+  // Sparse: seed a min-heap from the entry list (entries may be stale or
+  // duplicated — the flag guard below filters both), then pop ascending.
+  auto& heap = s.scratch.heap;
+  {
+    auto& list = s.frontier.entries();
+    heap.assign(list.begin(), list.end());
+    list.clear();
+  }
+  std::make_heap(heap.begin(), heap.end(), std::greater<>{});
+  c.scanned += heap.size();
+
+  std::size_t carry = 0;  // entries()[0, carry) = next sweep's frontier
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+    const lvid_t v = heap.back();
+    heap.pop_back();
+    if (!s.has_msg[v]) continue;  // stale or duplicate worklist entry
+    const typename P::Msg m = s.msg[v];
+    s.has_msg[v] = 0;
+    process(v, m);
+
+    if (s.frontier.is_dense()) {
+      // An activation burst crossed the density threshold and dropped the
+      // sparse bookkeeping. Every still-pending vertex is > v (behinds carry
+      // over, in both representations), so scanning flags from v+1 visits
+      // exactly what the serial scan would have visited next.
+      heap.clear();
+      c.scanned += n - v - 1;
+      for (lvid_t u = v + 1; u < n; ++u) {
+        if (!s.has_msg[u]) continue;
+        const typename P::Msg mu = s.msg[u];
+        s.has_msg[u] = 0;
+        process(u, mu);
+      }
+      return c;
+    }
+
+    // Triage fresh activations: ahead of the cursor joins this sweep's
+    // worklist; at or behind it (including v's own self-loops) carries to
+    // the next sweep, compacted in place at the front of the list.
+    auto& list = s.frontier.entries();
+    for (std::size_t i = carry; i < list.size(); ++i) {
+      const lvid_t u = list[i];
+      ++c.scanned;
+      if (u > v) {
+        heap.push_back(u);
+        std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+      } else {
+        list[carry++] = u;
+      }
+    }
+    list.resize(carry);
   }
   return c;
+}
+
+/// One apply+scatter sweep on machine `m` over replicas with pending
+/// messages (ascending lvid order; bit-deterministic for any exec budget).
+template <VertexProgram P>
+SweepCounters local_sweep(const P& prog, const partition::Part& part,
+                          PartState<P>& s,
+                          SweepMode mode = SweepMode::kGaussSeidel,
+                          const SweepExec& exec = {}) {
+  if (mode == SweepMode::kSnapshot || exec.threads > 1) {
+    return sweep_chunked(prog, part, s, exec);
+  }
+  return sweep_gauss_seidel(prog, part, s);
 }
 
 }  // namespace lazygraph::engine

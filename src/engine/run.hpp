@@ -1,8 +1,7 @@
 // The engine front door: one RunConfig carrying the engine kind, the
 // per-engine knobs, and an optional Tracer, dispatched through
 // engine::run(). Replaces the four parallel option structs callers used to
-// assemble by hand (the old run_engine/EngineOptions entry point remains as
-// a deprecated shim for one release).
+// assemble by hand.
 #pragma once
 
 #include <string>
@@ -41,6 +40,11 @@ struct RunConfig {
   double graph_ev_ratio = 0.0;
   /// Optional span/snapshot recorder, attached to the cluster for the run.
   sim::Tracer* tracer = nullptr;
+  /// Intra-machine thread budget for the engines' local sweeps (sync and
+  /// lazy-block). Purely an execution knob for sync; for lazy-block, values
+  /// > 1 also switch Stage 1 to snapshot sub-sweeps (an algorithm knob) —
+  /// either way results are bit-deterministic for a fixed value.
+  std::uint32_t threads_per_machine = 1;
 
   // --- lazy-block ---
   IntervalModelConfig interval = {};
@@ -69,7 +73,9 @@ RunResult<P> run(const RunConfig& cfg, const partition::DistributedGraph& dg,
   RunResult<P> result;
   switch (cfg.kind) {
     case EngineKind::kSync:
-      result = SyncEngine<P>(dg, prog, cluster, {cfg.max_supersteps}).run();
+      result = SyncEngine<P>(dg, prog, cluster,
+                             {cfg.max_supersteps, cfg.threads_per_machine})
+                   .run();
       break;
     case EngineKind::kAsync:
       result = AsyncEngine<P>(dg, prog, cluster, {cfg.max_supersteps}).run();
@@ -77,7 +83,8 @@ RunResult<P> run(const RunConfig& cfg, const partition::DistributedGraph& dg,
     case EngineKind::kLazyBlock:
       result = LazyBlockAsyncEngine<P>(
                    dg, prog, cluster,
-                   {cfg.max_supersteps, cfg.interval, cfg.comm_policy},
+                   {cfg.max_supersteps, cfg.interval, cfg.comm_policy,
+                    cfg.threads_per_machine},
                    ev_ratio)
                    .run();
       break;
@@ -89,45 +96,6 @@ RunResult<P> run(const RunConfig& cfg, const partition::DistributedGraph& dg,
   }
   if (cfg.tracer) cluster.set_tracer(previous);
   return result;
-}
-
-// --------------------------------------------------------------------------
-// Deprecated compatibility shim (one release, removal planned for the
-// 2026-09 release): the old entry point taking four parallel option
-// structs. Forwards to engine::run().
-// --------------------------------------------------------------------------
-
-struct EngineOptions {
-  SyncOptions sync = {};
-  AsyncOptions async = {};
-  LazyOptions lazy = {};
-  LazyVertexOptions lazy_vertex = {};
-  /// E/V ratio of the user-view graph; feeds the adaptive interval model.
-  double graph_ev_ratio = 0.0;
-};
-
-template <VertexProgram P>
-[[deprecated("assemble an engine::RunConfig and call engine::run()")]]
-RunResult<P> run_engine(EngineKind kind, const partition::DistributedGraph& dg,
-                        const P& prog, sim::Cluster& cluster,
-                        const EngineOptions& opts = {}) {
-  RunConfig cfg;
-  cfg.kind = kind;
-  cfg.graph_ev_ratio = opts.graph_ev_ratio;
-  cfg.interval = opts.lazy.interval;
-  cfg.comm_policy = opts.lazy.comm_policy;
-  cfg.staleness = opts.lazy_vertex.staleness;
-  switch (kind) {
-    case EngineKind::kSync: cfg.max_supersteps = opts.sync.max_supersteps; break;
-    case EngineKind::kAsync: cfg.max_supersteps = opts.async.max_rounds; break;
-    case EngineKind::kLazyBlock:
-      cfg.max_supersteps = opts.lazy.max_supersteps;
-      break;
-    case EngineKind::kLazyVertex:
-      cfg.max_supersteps = opts.lazy_vertex.max_cycles;
-      break;
-  }
-  return run(cfg, dg, prog, cluster);
 }
 
 }  // namespace lazygraph::engine

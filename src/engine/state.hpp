@@ -1,12 +1,16 @@
 // Per-machine runtime state shared by all engines: the paper's vdata[v],
 // message[v], deltaMsg[v] tables (Section 3.2) plus scatter-payload staging
-// used by the eager engines' master->mirror broadcasts.
+// used by the eager engines' master->mirror broadcasts, the active-vertex
+// frontiers that make sparse supersteps cheap, and the pooled scratch the
+// chunked deterministic sweep reuses across supersteps.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
+#include "engine/frontier.hpp"
 #include "engine/program.hpp"
 #include "partition/dgraph.hpp"
 #include "sim/cluster.hpp"
@@ -32,6 +36,39 @@ constexpr std::uint64_t wire_bytes() {
   return 8 + sizeof(T);
 }
 
+struct SweepCounters {
+  std::uint64_t work = 0;     // applies + edge traversals
+  std::uint64_t applies = 0;  // vertex apply invocations
+  /// Candidate slots examined to locate active vertices: num_local per dense
+  /// scan, frontier-entry count per sparse consumption. Sparse supersteps
+  /// keep this O(frontier) instead of O(num_local).
+  std::uint64_t scanned = 0;
+};
+
+/// Pooled scratch for the sweep machinery, one instance per PartState so
+/// steady-state supersteps allocate nothing (every vector keeps its
+/// high-water capacity across sweeps).
+template <class Msg>
+struct SweepScratch {
+  // Consumed-frontier snapshot (ascending lvids) and per-item accumulators.
+  std::vector<lvid_t> snapshot;
+  std::vector<Msg> accums;
+  // Gauss-Seidel worklist (binary min-heap of pending lvids).
+  std::vector<lvid_t> heap;
+  // Chunk-private deposit buffers, linearized [chunk][target range]: workers
+  // stage (target, message) pairs here, the merge folds them in chunk order.
+  struct Bucket {
+    std::vector<std::pair<lvid_t, Msg>> msgs;
+    std::vector<std::pair<lvid_t, Msg>> deltas;
+  };
+  std::vector<Bucket> buckets;
+  std::vector<SweepCounters> chunk_counters;
+  // Fresh activations observed by each merge range, appended to the
+  // frontiers serially after the join (frontier lists are not thread-safe).
+  std::vector<std::vector<lvid_t>> msg_activations;
+  std::vector<std::vector<lvid_t>> delta_activations;
+};
+
 template <VertexProgram P>
 struct PartState {
   std::vector<typename P::VData> vdata;
@@ -41,6 +78,11 @@ struct PartState {
   std::vector<std::uint8_t> has_delta;
   std::vector<typename P::Scatter> payload;
   std::vector<std::uint8_t> has_payload;
+  /// Worklists over has_msg / has_delta (see frontier.hpp for the invariant:
+  /// every raised flag is reachable through its frontier).
+  Frontier frontier;
+  Frontier delta_frontier;
+  SweepScratch<typename P::Msg> scratch;
 
   void resize(lvid_t n) {
     vdata.resize(n);
@@ -50,6 +92,8 @@ struct PartState {
     has_delta.assign(n, 0);
     payload.resize(n);
     has_payload.assign(n, 0);
+    frontier.reset(n);
+    delta_frontier.reset(n);
   }
 
   std::uint64_t count_msgs() const {
@@ -65,28 +109,54 @@ VertexInfo vertex_info(const partition::Part& part, lvid_t v) {
           part.global_total_degree[v]};
 }
 
-/// Sum-combines `m` into the message slot of `v`.
+/// Sum-combines `m` into the message slot of `v` WITHOUT touching the
+/// frontier; returns whether this was a fresh (0->1) activation. For
+/// contexts that record activations out-of-band: parallel merge workers
+/// (frontier lists are not thread-safe) and folds whose flag is consumed
+/// before the next frontier derivation.
 template <VertexProgram P>
-void deposit_msg(const P& prog, PartState<P>& s, lvid_t v,
-                 const typename P::Msg& m) {
+bool deposit_msg_raw(const P& prog, PartState<P>& s, lvid_t v,
+                     const typename P::Msg& m) {
   if (s.has_msg[v]) {
     s.msg[v] = prog.sum(s.msg[v], m);
-  } else {
-    s.msg[v] = m;
-    s.has_msg[v] = 1;
+    return false;
   }
+  s.msg[v] = m;
+  s.has_msg[v] = 1;
+  return true;
 }
 
-/// Sum-combines `m` into the delta slot of `v` (one-edge-mode accumulation).
+/// Sum-combines `m` into the message slot of `v`, recording fresh
+/// activations in the frontier; returns whether it was one.
 template <VertexProgram P>
-void deposit_delta(const P& prog, PartState<P>& s, lvid_t v,
-                   const typename P::Msg& m) {
+bool deposit_msg(const P& prog, PartState<P>& s, lvid_t v,
+                 const typename P::Msg& m) {
+  const bool fresh = deposit_msg_raw(prog, s, v, m);
+  if (fresh) s.frontier.activate(v);
+  return fresh;
+}
+
+/// Delta-slot counterpart of deposit_msg_raw (one-edge-mode accumulation).
+template <VertexProgram P>
+bool deposit_delta_raw(const P& prog, PartState<P>& s, lvid_t v,
+                       const typename P::Msg& m) {
   if (s.has_delta[v]) {
     s.delta[v] = prog.sum(s.delta[v], m);
-  } else {
-    s.delta[v] = m;
-    s.has_delta[v] = 1;
+    return false;
   }
+  s.delta[v] = m;
+  s.has_delta[v] = 1;
+  return true;
+}
+
+/// Sum-combines `m` into the delta slot of `v`, recording fresh activations
+/// in the delta frontier; returns whether it was one.
+template <VertexProgram P>
+bool deposit_delta(const P& prog, PartState<P>& s, lvid_t v,
+                   const typename P::Msg& m) {
+  const bool fresh = deposit_delta_raw(prog, s, v, m);
+  if (fresh) s.delta_frontier.activate(v);
+  return fresh;
 }
 
 /// Initializes vdata on every replica.

@@ -11,8 +11,15 @@
 //                                          (global sync #3)
 // i.e. two communications and three global synchronizations per superstep,
 // exactly the redundancy Section 2.3 of the paper quantifies.
+//
+// The superstep is frontier-driven: pending masters are derived from the
+// per-machine frontiers (sorted ascending, so every pass visits the same
+// vertices in the same order as the historical whole-array scans), and the
+// scatter pass runs chunk-parallel within each machine when the
+// threads_per_machine budget allows — bit-identical for any budget.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <vector>
@@ -25,6 +32,9 @@ namespace lazygraph::engine {
 
 struct SyncOptions {
   std::uint64_t max_supersteps = 1'000'000;
+  /// Intra-machine thread budget for the scatter sweep (results are
+  /// bit-identical across budgets; this is purely an execution knob here).
+  std::uint32_t threads_per_machine = 1;
 };
 
 template <VertexProgram P>
@@ -44,6 +54,7 @@ class SyncEngine {
     const machine_t p = dg_.num_machines();
     states_ = make_states(dg_, prog_);
     init_eager_messages(prog_, dg_, states_);
+    const SweepExec exec{&cluster_, opts_.threads_per_machine};
 
     RunResult<P> result;
     std::vector<std::uint64_t> gather_msgs(p), bcast_msgs(p), bcast_payloads(p),
@@ -51,10 +62,34 @@ class SyncEngine {
     // Gather-phase edge work lands on *other* machines (every replica of an
     // active vertex walks its local in-edges), so these are shared counters.
     std::vector<std::atomic<std::uint64_t>> gather_work(p);
+    // Per machine: master lvids with any active replica this superstep
+    // (sorted ascending), and payload-carrying replicas to scatter.
+    std::vector<std::vector<lvid_t>> pending(p), scatter_list(p);
 
     for (std::uint64_t step = 0; step < opts_.max_supersteps; ++step) {
       ++cluster_.metrics().supersteps;
       ++result.supersteps;
+
+      // --- Derive the pending-master worklists from the frontiers: every
+      // flagged replica routes its master's coordinates. Serial (frontier
+      // lists cross machines), then sorted per machine in parallel. ---
+      for (auto& l : pending) l.clear();
+      for (machine_t r = 0; r < p; ++r) {
+        const partition::Part& rp = dg_.part(r);
+        PartState<P>& rs = states_[r];
+        cluster_.metrics().sweep_scanned +=
+            rs.frontier.for_each_flagged(rs.has_msg, [&](lvid_t u) {
+              pending[rp.master[u]].push_back(rp.master_lvid[u]);
+            });
+        // All flags below are consumed by gather+apply before scatter
+        // re-arms the frontier, so dropping the worklist now is safe.
+        rs.frontier.clear();
+      }
+      cluster_.parallel_machines([&](machine_t m) {
+        auto& l = pending[m];
+        std::sort(l.begin(), l.end());
+        l.erase(std::unique(l.begin(), l.end()), l.end());
+      });
 
       // --- Gather: PowerGraph recomputes the accumulator of every active
       // vertex over its full in-neighbourhood — each replica walks its local
@@ -65,13 +100,7 @@ class SyncEngine {
       cluster_.parallel_machines([&](machine_t m) {
         const partition::Part& part = dg_.part(m);
         PartState<P>& s = states_[m];
-        for (lvid_t v = 0; v < part.num_local(); ++v) {
-          if (part.master[v] != m) continue;
-          bool active = s.has_msg[v];
-          for (const auto& [r, rl] : part.remote_replicas[v]) {
-            active = active || states_[r].has_msg[rl];
-          }
-          if (!active) continue;
+        for (const lvid_t v : pending[m]) {
           gather_work[m].fetch_add(part.local_in_degree[v],
                                    std::memory_order_relaxed);
           for (const auto& [r, rl] : part.remote_replicas[v]) {
@@ -80,7 +109,9 @@ class SyncEngine {
                                      std::memory_order_relaxed);
             ++gather_msgs[m];  // one accumulator per mirror, always
             if (rs.has_msg[rl]) {
-              deposit_msg(prog_, s, v, rs.msg[rl]);
+              // Raw deposit: the master flag raised here is consumed by the
+              // apply pass below, before the next frontier derivation.
+              deposit_msg_raw(prog_, s, v, rs.msg[rl]);
               rs.has_msg[rl] = 0;
             }
           }
@@ -105,8 +136,8 @@ class SyncEngine {
       cluster_.parallel_machines([&](machine_t m) {
         const partition::Part& part = dg_.part(m);
         PartState<P>& s = states_[m];
-        for (lvid_t v = 0; v < part.num_local(); ++v) {
-          if (part.master[v] != m || !s.has_msg[v]) continue;
+        for (const lvid_t v : pending[m]) {
+          if (!s.has_msg[v]) continue;
           const typename P::Msg acc = s.msg[v];
           s.has_msg[v] = 0;
           ++applies[m];
@@ -142,23 +173,40 @@ class SyncEngine {
           total_bcast);
       cluster_.charge_barrier();  // sync #2
 
-      // --- Scatter on every replica along local out-edges. ---
+      // --- Scatter on every replica along local out-edges, worklist-driven:
+      // a replica carries a payload iff its master was pending and applied
+      // one, so the lists below cover every raised has_payload flag. ---
+      for (auto& l : scatter_list) l.clear();
+      for (machine_t m = 0; m < p; ++m) {
+        const partition::Part& part = dg_.part(m);
+        for (const lvid_t v : pending[m]) {
+          if (states_[m].has_payload[v]) scatter_list[m].push_back(v);
+          for (const auto& [r, rl] : part.remote_replicas[v]) {
+            if (states_[r].has_payload[rl]) scatter_list[r].push_back(rl);
+          }
+        }
+      }
       std::fill(work.begin(), work.end(), 0);
       cluster_.parallel_machines([&](machine_t m) {
         const partition::Part& part = dg_.part(m);
         PartState<P>& s = states_[m];
-        work[m] = applies[m];
-        for (lvid_t v = 0; v < part.num_local(); ++v) {
-          if (!s.has_payload[v]) continue;
-          s.has_payload[v] = 0;
-          const VertexInfo info = vertex_info<P>(part, v);
-          for (std::uint64_t e = part.offsets[v]; e < part.offsets[v + 1];
-               ++e) {
-            deposit_msg(prog_, s, part.targets[e],
-                        prog_.scatter(s.payload[v], info, part.weights[e]));
-            ++work[m];
-          }
-        }
+        auto& list = scatter_list[m];
+        std::sort(list.begin(), list.end());  // ascending = old scan order
+        const SweepCounters c = chunked_deposit_pass(
+            prog_, part, s, list.size(), exec,
+            [&](std::size_t i, ChunkEmitter<typename P::Msg>& em,
+                SweepCounters& cc) {
+              const lvid_t v = list[i];
+              s.has_payload[v] = 0;
+              const VertexInfo info = vertex_info<P>(part, v);
+              for (std::uint64_t e = part.offsets[v]; e < part.offsets[v + 1];
+                   ++e) {
+                em.msg(part.targets[e],
+                       prog_.scatter(s.payload[v], info, part.weights[e]));
+                ++cc.work;
+              }
+            });
+        work[m] = applies[m] + c.work;
       });
       cluster_.charge_compute(sim::SpanKind::kEagerScatter, work);
       cluster_.charge_barrier();  // sync #3

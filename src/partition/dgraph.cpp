@@ -85,12 +85,41 @@ DistributedGraph DistributedGraph::build(
     dg.master_of_[v] = chosen;
   }
 
-  // Step 5: local vertex tables (lvids ordered by global id).
+  // Step 5: local vertex tables (lvids ordered by global id). One pass over
+  // the masks pre-counts each machine's replicas so every per-part vector
+  // reserves its final size up front, and the flat (machine, lvid) replica
+  // list plus master lvids are recorded while lvids are assigned — the only
+  // g2l hashing left is building the map itself (kept for external lookups).
   dg.parts_.resize(machines);
-  const std::vector<vid_t> out_deg = g.out_degrees();
-  const std::vector<vid_t> tot_deg = g.total_degrees();
+  std::vector<std::size_t> replicas_per(machines, 0);
+  std::vector<std::uint64_t> roff(static_cast<std::size_t>(n) + 1, 0);
   for (vid_t v = 0; v < n; ++v) {
     std::uint64_t m = mask[v];
+    roff[v + 1] = roff[v] + static_cast<std::uint64_t>(std::popcount(m));
+    while (m) {
+      ++replicas_per[std::countr_zero(m)];
+      m &= m - 1;
+    }
+  }
+  for (machine_t m = 0; m < machines; ++m) {
+    Part& part = dg.parts_[m];
+    const std::size_t cnt = replicas_per[m];
+    part.gids.reserve(cnt);
+    part.g2l.reserve(cnt);
+    part.replica_mask.reserve(cnt);
+    part.master.reserve(cnt);
+    part.global_out_degree.reserve(cnt);
+    part.global_total_degree.reserve(cnt);
+  }
+  const std::vector<vid_t> out_deg = g.out_degrees();
+  const std::vector<vid_t> tot_deg = g.total_degrees();
+  dg.master_lvid_of_.resize(n);
+  // rlist[roff[v], roff[v+1]) = v's replicas as (machine, lvid there) pairs,
+  // machine-ascending (countr_zero walks bits low to high).
+  std::vector<std::pair<machine_t, lvid_t>> rlist(roff[n]);
+  for (vid_t v = 0; v < n; ++v) {
+    std::uint64_t m = mask[v];
+    std::uint64_t cursor = roff[v];
     while (m) {
       const auto mach = static_cast<machine_t>(std::countr_zero(m));
       m &= m - 1;
@@ -102,11 +131,9 @@ DistributedGraph DistributedGraph::build(
       part.master.push_back(dg.master_of_[v]);
       part.global_out_degree.push_back(out_deg[v]);
       part.global_total_degree.push_back(tot_deg[v]);
+      if (mach == dg.master_of_[v]) dg.master_lvid_of_[v] = lvid;
+      rlist[cursor++] = {mach, lvid};
     }
-  }
-  dg.master_lvid_of_.resize(n);
-  for (vid_t v = 0; v < n; ++v) {
-    dg.master_lvid_of_[v] = dg.parts_[dg.master_of_[v]].g2l.at(v);
   }
   for (Part& part : dg.parts_) {
     part.master_lvid.resize(part.gids.size());
@@ -115,19 +142,19 @@ DistributedGraph DistributedGraph::build(
     }
   }
 
-  // Step 6: replica routing tables.
+  // Step 6: replica routing tables, sliced out of the flat replica list
+  // (machine-ascending order preserved; self excluded).
   for (machine_t m = 0; m < machines; ++m) {
     Part& part = dg.parts_[m];
     part.remote_replicas.resize(part.gids.size());
     for (lvid_t i = 0; i < part.num_local(); ++i) {
-      std::uint64_t bits = part.replica_mask[i];
-      if (std::popcount(bits) <= 1) continue;
+      const vid_t v = part.gids[i];
+      const std::uint64_t cnt = roff[v + 1] - roff[v];
+      if (cnt <= 1) continue;
       auto& out = part.remote_replicas[i];
-      while (bits) {
-        const auto r = static_cast<machine_t>(std::countr_zero(bits));
-        bits &= bits - 1;
-        if (r == m) continue;
-        out.emplace_back(r, dg.parts_[r].g2l.at(part.gids[i]));
+      out.reserve(cnt - 1);
+      for (std::uint64_t j = roff[v]; j < roff[v + 1]; ++j) {
+        if (rlist[j].first != m) out.push_back(rlist[j]);
       }
     }
   }
@@ -160,6 +187,10 @@ DistributedGraph DistributedGraph::build(
       --dg.parallel_copies_;
     }
   }
+  // Dense gid -> lvid scratch shared across machines: machine m only
+  // resolves gids that have a local replica on m, and the refill below
+  // rewrites exactly those slots, so no reset between machines is needed.
+  std::vector<lvid_t> lookup(n, kInvalidLvid);
   for (machine_t m = 0; m < machines; ++m) {
     Part& part = dg.parts_[m];
     auto& edges = tmp[m];
@@ -172,9 +203,10 @@ DistributedGraph DistributedGraph::build(
     part.weights.reserve(edges.size());
     part.parallel_mode.reserve(edges.size());
     part.local_in_degree.assign(part.num_local(), 0);
+    for (lvid_t i = 0; i < part.num_local(); ++i) lookup[part.gids[i]] = i;
     for (const TmpEdge& e : edges) {
-      const lvid_t ls = part.g2l.at(e.src);
-      const lvid_t ld = part.g2l.at(e.dst);
+      const lvid_t ls = lookup[e.src];
+      const lvid_t ld = lookup[e.dst];
       ++part.offsets[ls + 1];
       ++part.local_in_degree[ld];
       part.targets.push_back(ld);

@@ -12,7 +12,8 @@ void SimMetrics::print(std::ostream& os, const std::string& label) const {
      << ")\n"
      << label << ": syncs=" << global_syncs << " supersteps=" << supersteps
      << " local_subiters=" << local_subiterations << " applies=" << applies
-     << " traversals=" << edge_traversals << "\n"
+     << " traversals=" << edge_traversals
+     << " scanned=" << sweep_scanned << "\n"
      << label << ": msgs=" << network_messages << " traffic="
      << std::setprecision(3) << network_mb() << "MB a2a=" << a2a_exchanges
      << " m2m=" << m2m_exchanges << "\n";

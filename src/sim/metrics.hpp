@@ -22,6 +22,11 @@ struct SimMetrics {
   std::uint64_t a2a_exchanges = 0;      // coherency stages using all-to-all
   std::uint64_t m2m_exchanges = 0;      // ... using mirrors-to-master
   std::uint64_t vertex_coherency_events = 0;  // LazyVertexAsync per-vertex
+  /// Candidate slots examined while locating active vertices (dense scans
+  /// add num_local, sparse frontier walks add the entry count) — the
+  /// worklist machinery's effectiveness measure: sparse supersteps keep this
+  /// near the frontier size instead of O(num_local) per sweep.
+  std::uint64_t sweep_scanned = 0;
 
   // --- modeled (seconds) ---
   double compute_seconds = 0.0;

@@ -90,7 +90,8 @@ RunOutput<P> run_one(EngineKind kind, const partition::DistributedGraph& dg,
   };
   switch (kind) {
     case EngineKind::kSync: {
-      engine::SyncEngine<P> e(dg, prog, cluster, {o.max_supersteps});
+      engine::SyncEngine<P> e(dg, prog, cluster,
+                              {o.max_supersteps, s.threads_per_machine});
       if (with_inspector) e.set_coherency_inspector(make_inspector(eager_eq));
       out.result = e.run();
       break;
@@ -106,6 +107,7 @@ RunOutput<P> run_one(EngineKind kind, const partition::DistributedGraph& dg,
       lo.max_supersteps = o.max_supersteps;
       lo.interval.policy = s.interval_policy;
       lo.comm_policy = s.comm_policy;
+      lo.threads_per_machine = s.threads_per_machine;
       engine::LazyBlockAsyncEngine<P> e(dg, prog, cluster, lo,
                                         dg.user_ev_ratio());
       // Parallel-edges graphs deliver split-edge scatters eagerly through

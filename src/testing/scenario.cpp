@@ -98,14 +98,15 @@ std::string Scenario::summary() const {
   }
   os << " staleness=" << staleness
      << " interval=" << engine::to_string(interval_policy)
-     << " comm=" << engine::to_string(comm_policy);
+     << " comm=" << engine::to_string(comm_policy)
+     << " tpm=" << threads_per_machine;
   return os.str();
 }
 
 void Scenario::to_text(std::ostream& os) const {
   // %.17g round-trips every finite double exactly.
   char buf[64];
-  os << "lazygraph-scenario v1\n";
+  os << "lazygraph-scenario v2\n";
   os << "seed " << seed << "\n";
   os << "vertices " << num_vertices << "\n";
   os << "machines " << machines << "\n";
@@ -120,6 +121,7 @@ void Scenario::to_text(std::ostream& os) const {
   std::snprintf(buf, sizeof buf, "%.17g", alpha);
   os << "alpha " << buf << "\n";
   os << "staleness " << staleness << "\n";
+  os << "threads_per_machine " << threads_per_machine << "\n";
   os << "interval " << engine::to_string(interval_policy) << "\n";
   os << "comm " << engine::to_string(comm_policy) << "\n";
   os << "edges " << edges.size() << "\n";
@@ -140,8 +142,16 @@ Scenario Scenario::from_text(std::istream& is) {
     throw std::invalid_argument("scenario parse error: " + why);
   };
   std::string line;
-  if (!std::getline(is, line) || line != "lazygraph-scenario v1") {
-    fail("missing 'lazygraph-scenario v1' header");
+  if (!std::getline(is, line)) fail("missing scenario header");
+  // v1 dumps predate the threads_per_machine key; they parse with its
+  // default (1), so old corpus files stay replayable bit-for-bit.
+  int version = 0;
+  if (line == "lazygraph-scenario v1") {
+    version = 1;
+  } else if (line == "lazygraph-scenario v2") {
+    version = 2;
+  } else {
+    fail("missing 'lazygraph-scenario v1|v2' header");
   }
   Scenario s;
   auto expect_key = [&](const std::string& key) -> std::string {
@@ -161,6 +171,10 @@ Scenario Scenario::from_text(std::istream& is) {
   s.tol = std::stod(expect_key("tol"));
   s.alpha = std::stod(expect_key("alpha"));
   s.staleness = static_cast<std::uint32_t>(std::stoul(expect_key("staleness")));
+  if (version >= 2) {
+    s.threads_per_machine = static_cast<std::uint32_t>(
+        std::stoul(expect_key("threads_per_machine")));
+  }
   s.interval_policy = interval_from_string(expect_key("interval"));
   s.comm_policy = comm_from_string(expect_key("comm"));
   const std::uint64_t num_edges = std::stoull(expect_key("edges"));
@@ -302,6 +316,11 @@ Scenario make_scenario(std::uint64_t corpus_seed, std::uint64_t index) {
                                        CommModePolicy::kForceAllToAll,
                                        CommModePolicy::kForceMirrorsToMaster};
   s.comm_policy = kComms[rng.below(3)];
+  // Drawn last so every earlier field of pre-existing corpus seeds is
+  // unchanged by the knob's introduction. 7 is deliberately not a divisor of
+  // the sweep chunk size, exercising ragged chunk/range splits.
+  constexpr std::uint32_t kTpm[] = {1, 2, 7};
+  s.threads_per_machine = kTpm[rng.below(3)];
   return s;
 }
 

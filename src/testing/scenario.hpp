@@ -67,6 +67,9 @@ struct Scenario {
   std::uint32_t staleness = 4;  // lazy-vertex applies between coherency events
   engine::IntervalPolicy interval_policy = engine::IntervalPolicy::kAdaptive;
   engine::CommModePolicy comm_policy = engine::CommModePolicy::kAdaptive;
+  /// Intra-machine thread budget (sync + lazy-block sweeps); exercises the
+  /// chunked deterministic merge path when > 1.
+  std::uint32_t threads_per_machine = 1;
 
   bool operator==(const Scenario&) const = default;
 

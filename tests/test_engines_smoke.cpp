@@ -125,31 +125,5 @@ TEST(EnginesSmoke, UnifiedResultCarriesMetricsSnapshot) {
   }
 }
 
-// The one-release compatibility shim must behave exactly like the new entry
-// point (bit-identical results and metrics).
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(EnginesSmoke, DeprecatedRunEngineShimMatchesRun) {
-  Harness s(gen::erdos_renyi(120, 500, 31, {1.0f, 4.0f}), 4);
-  engine::EngineOptions opts;
-  opts.graph_ev_ratio = s.g.edge_vertex_ratio();
-  const auto old_r = engine::run_engine(EngineKind::kLazyBlock, s.dg,
-                                        algos::SSSP{.source = 0}, s.cluster,
-                                        opts);
-  s.cluster.reset_metrics();
-  const auto new_r =
-      engine::run({.kind = EngineKind::kLazyBlock,
-                   .graph_ev_ratio = s.g.edge_vertex_ratio()},
-                  s.dg, algos::SSSP{.source = 0}, s.cluster);
-  ASSERT_EQ(old_r.data.size(), new_r.data.size());
-  for (std::size_t v = 0; v < old_r.data.size(); ++v) {
-    EXPECT_EQ(old_r.data[v].dist, new_r.data[v].dist);
-  }
-  EXPECT_EQ(old_r.supersteps, new_r.supersteps);
-  EXPECT_EQ(old_r.metrics.network_bytes, new_r.metrics.network_bytes);
-  EXPECT_EQ(old_r.metrics.global_syncs, new_r.metrics.global_syncs);
-}
-#pragma GCC diagnostic pop
-
 }  // namespace
 }  // namespace lazygraph

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <numeric>
 #include <set>
+#include <thread>
 
 #include "util/common.hpp"
 #include "util/options.hpp"
@@ -144,6 +145,70 @@ TEST(ThreadPool, ReusableAcrossCalls) {
     pool.parallel_for(10, [&](std::size_t) { ++total; });
   }
   EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPoolChunks, CoversEveryIndexExactlyOnceInChunkSlices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for_chunks(1000, 64, 4, [&](std::size_t begin,
+                                            std::size_t end) {
+    EXPECT_EQ(begin % 64, 0u);          // chunk-aligned slices
+    EXPECT_LE(end, std::size_t{1000});
+    EXPECT_LE(end - begin, std::size_t{64});
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolChunks, EmptyAndSingleChunkRunInline) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for_chunks(0, 16, 2, [&](std::size_t, std::size_t) {
+    ran = true;
+  });
+  EXPECT_FALSE(ran);
+  int calls = 0;
+  pool.parallel_for_chunks(10, 16, 2, [&](std::size_t begin,
+                                          std::size_t end) {
+    ++calls;
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 10u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolChunks, MaxThreadsOneRunsInline) {
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_for_chunks(512, 32, 1, [&](std::size_t, std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPoolChunks, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for_chunks(256, 16, 2,
+                               [&](std::size_t begin, std::size_t) {
+                                 if (begin == 64) throw std::runtime_error("x");
+                               }),
+      std::runtime_error);
+}
+
+// The engines call parallel_for_chunks from inside parallel_machines (a
+// parallel_for body on the same pool). The caller-drains design must keep
+// that nesting deadlock-free: chunk bodies never block, and the enqueueing
+// worker participates in draining its own chunks.
+TEST(ThreadPoolChunks, NestedInsideParallelForCompletes) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  pool.parallel_for(6, [&](std::size_t) {
+    pool.parallel_for_chunks(128, 16, 3, [&](std::size_t begin,
+                                             std::size_t end) {
+      total += static_cast<int>(end - begin);
+    });
+  });
+  EXPECT_EQ(total.load(), 6 * 128);
 }
 
 TEST(SerialFor, RunsInOrder) {

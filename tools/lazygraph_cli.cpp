@@ -13,6 +13,7 @@
 //   --dataset=<table1 analogue name> | --graph=<edge-list path>
 //   --machines=N --scale=S --cut=random|grid|coordinated|hybrid
 //   --split=true|false  --source=V  --k=K  --tol=T  --top=N
+//   --threads-per-machine=N  intra-machine sweep threads (default 1)
 //   --trace=FILE         write the run's JSONL trace to FILE
 //   --trace-summary[=K]  print the top-K most expensive spans (default 10)
 //                        plus per-kind totals and the superstep decision log
@@ -94,6 +95,8 @@ int main(int argc, char** argv) try {
   engine::RunConfig cfg;
   cfg.kind = kind;  // graph_ev_ratio auto-derives from the dg's user view
   if (want_trace) cfg.tracer = &tracer;
+  cfg.threads_per_machine =
+      static_cast<std::uint32_t>(opts.get_int("threads-per-machine", 1));
 
   const auto source = static_cast<vid_t>(opts.get_int("source", 0));
   const auto top = static_cast<std::size_t>(opts.get_int("top", 5));
