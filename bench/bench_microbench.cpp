@@ -4,6 +4,8 @@
 // figures.
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
 #include "lazygraph.hpp"
 
 namespace {
@@ -105,6 +107,43 @@ void BM_SweepScaling(benchmark::State& state) {
                           static_cast<int64_t>(part.num_local_edges()));
 }
 BENCHMARK(BM_SweepScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// The ingest-scaling cell (CI uploads its JSON as BENCH_build.json): the
+// whole setup pipeline — parse an edge-list, hybrid-cut it, compute the
+// replication factor, and build the distributed graph — on the largest
+// generated bench graph, at 1/2/4/8 setup threads. Every stage is
+// bit-identical across thread counts (tests/test_ingest_parallel.cpp), so
+// this measures pure execution scaling. Items/sec ~ edges through the
+// pipeline per second.
+void BM_IngestScaling(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  static const std::string text = [] {
+    std::ostringstream os;
+    io::write_edge_list(test_graph(), os);
+    return os.str();
+  }();
+  const machine_t machines = 48;
+  for (auto _ : state) {
+    // A fresh Graph each iteration: degree/hash caches must not leak work
+    // across iterations — recomputing degrees is part of the setup cost.
+    Graph g = io::read_edge_list_text(text, {.threads = threads});
+    const auto assignment = partition::assign_edges(
+        g, machines,
+        {.kind = partition::CutKind::kHybrid, .seed = 1, .threads = threads});
+    benchmark::DoNotOptimize(
+        partition::replication_factor(g, assignment, machines, threads));
+    benchmark::DoNotOptimize(partition::DistributedGraph::build(
+        g, machines, assignment, {}, threads));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(test_graph().num_edges()));
+}
+BENCHMARK(BM_IngestScaling)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)

@@ -72,6 +72,11 @@ struct CellResult {
   std::uint64_t m2m_exchanges = 0;
   bool converged = false;
   double replication_factor = 0.0;
+  /// Wall-clock seconds the cell spent in ingest + partition + build
+  /// (near-zero when the artifact cache served the cell).
+  double setup_seconds = 0.0;
+  std::uint64_t setup_cache_hits = 0;
+  std::uint64_t setup_cache_misses = 0;
 };
 
 /// Runs one cell of the evaluation matrix.

@@ -1,9 +1,56 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <unordered_set>
 
+#include "util/rng.hpp"
+#include "util/threadpool.hpp"
+
 namespace lazygraph {
+
+namespace {
+
+// Per-range degree histograms folded into `deg`. Integer addition commutes,
+// so the result is bit-identical for any (threads, range) decomposition.
+enum class DegreeMode { kOut, kIn, kTotal };
+
+std::vector<vid_t> count_degrees(vid_t num_vertices,
+                                 const std::vector<Edge>& edges,
+                                 DegreeMode mode, std::size_t threads) {
+  std::vector<vid_t> deg(num_vertices, 0);
+  threads = resolve_setup_threads(threads);
+  if (threads <= 1 || edges.size() < 2 * threads) {
+    for (const Edge& e : edges) {
+      if (mode != DegreeMode::kIn) ++deg[e.src];
+      if (mode != DegreeMode::kOut) ++deg[e.dst];
+    }
+    return deg;
+  }
+  std::vector<std::vector<vid_t>> partial(threads);
+  parallel_ranges(edges.size(), threads,
+                  [&](std::size_t r, std::size_t begin, std::size_t end) {
+                    auto& h = partial[r];
+                    h.assign(num_vertices, 0);
+                    for (std::size_t i = begin; i < end; ++i) {
+                      const Edge& e = edges[i];
+                      if (mode != DegreeMode::kIn) ++h[e.src];
+                      if (mode != DegreeMode::kOut) ++h[e.dst];
+                    }
+                  });
+  parallel_ranges(num_vertices, threads,
+                  [&](std::size_t, std::size_t begin, std::size_t end) {
+                    for (const auto& h : partial) {
+                      if (h.empty()) continue;
+                      for (std::size_t v = begin; v < end; ++v) {
+                        deg[v] += h[v];
+                      }
+                    }
+                  });
+  return deg;
+}
+
+}  // namespace
 
 Graph::Graph(vid_t num_vertices, std::vector<Edge> edges)
     : num_vertices_(num_vertices), edges_(std::move(edges)) {
@@ -19,25 +66,48 @@ double Graph::edge_vertex_ratio() const {
          static_cast<double>(num_vertices_);
 }
 
-std::vector<vid_t> Graph::out_degrees() const {
-  std::vector<vid_t> deg(num_vertices_, 0);
-  for (const Edge& e : edges_) ++deg[e.src];
-  return deg;
-}
-
-std::vector<vid_t> Graph::in_degrees() const {
-  std::vector<vid_t> deg(num_vertices_, 0);
-  for (const Edge& e : edges_) ++deg[e.dst];
-  return deg;
-}
-
-std::vector<vid_t> Graph::total_degrees() const {
-  std::vector<vid_t> deg(num_vertices_, 0);
-  for (const Edge& e : edges_) {
-    ++deg[e.src];
-    ++deg[e.dst];
+const std::vector<vid_t>& Graph::out_degrees(std::size_t threads) const {
+  if (!have_out_deg_) {
+    out_deg_ = count_degrees(num_vertices_, edges_, DegreeMode::kOut, threads);
+    have_out_deg_ = true;
   }
-  return deg;
+  return out_deg_;
+}
+
+const std::vector<vid_t>& Graph::in_degrees(std::size_t threads) const {
+  if (!have_in_deg_) {
+    in_deg_ = count_degrees(num_vertices_, edges_, DegreeMode::kIn, threads);
+    have_in_deg_ = true;
+  }
+  return in_deg_;
+}
+
+const std::vector<vid_t>& Graph::total_degrees(std::size_t threads) const {
+  if (!have_tot_deg_) {
+    tot_deg_ =
+        count_degrees(num_vertices_, edges_, DegreeMode::kTotal, threads);
+    have_tot_deg_ = true;
+  }
+  return tot_deg_;
+}
+
+std::uint64_t Graph::content_hash() const {
+  if (!have_hash_) {
+    // Serial chain hash: order-dependent on purpose (edge order is part of
+    // the identity — partitioners are sensitive to it) and independent of
+    // any thread-count knob so cache keys are stable across configurations.
+    std::uint64_t h = mix64(0x6c617a79u ^ num_vertices_);
+    h = mix64(h ^ edges_.size());
+    for (const Edge& e : edges_) {
+      std::uint32_t w_bits;
+      std::memcpy(&w_bits, &e.weight, sizeof(w_bits));
+      h = mix64(h ^ (static_cast<std::uint64_t>(e.src) << 32 | e.dst));
+      h = mix64(h ^ w_bits);
+    }
+    content_hash_ = h;
+    have_hash_ = true;
+  }
+  return content_hash_;
 }
 
 Csr build_csr(vid_t num_vertices, const std::vector<Edge>& edges,

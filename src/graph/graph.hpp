@@ -51,11 +51,21 @@ class Graph {
   /// Average out-degree E/V (the paper's locality feature).
   double edge_vertex_ratio() const;
 
-  /// Out-degree / in-degree of every vertex.
-  std::vector<vid_t> out_degrees() const;
-  std::vector<vid_t> in_degrees() const;
+  /// Out-degree / in-degree of every vertex. Computed once and cached (like
+  /// the CSR indices), so repeated partitions of the same graph never redo
+  /// the O(E) pass. `threads` only matters for the computing first call
+  /// (0 = hardware concurrency); the histogram fold is commutative integer
+  /// addition, so the result is bit-identical for any thread count.
+  const std::vector<vid_t>& out_degrees(std::size_t threads = 1) const;
+  const std::vector<vid_t>& in_degrees(std::size_t threads = 1) const;
   /// out-degree + in-degree (used by k-core on directed inputs).
-  std::vector<vid_t> total_degrees() const;
+  const std::vector<vid_t>& total_degrees(std::size_t threads = 1) const;
+
+  /// Content identity of (num_vertices, edge list): a deterministic 64-bit
+  /// chain hash, cached after the first call. Two graphs with equal vertex
+  /// counts and equal edge sequences share the hash; used (together with
+  /// n and m) as the graph component of partition::ArtifactCache keys.
+  std::uint64_t content_hash() const;
 
   /// Builds a CSR over out-edges (cached; cheap to call repeatedly).
   const Csr& out_csr() const;
@@ -74,10 +84,16 @@ class Graph {
  private:
   vid_t num_vertices_ = 0;
   std::vector<Edge> edges_;
-  // Lazily built indices. Mutable: building an index does not change the
-  // logical graph.
+  // Lazily built indices and degree/identity caches. Mutable: building an
+  // index does not change the logical graph. Like the CSRs, first access is
+  // not thread-safe; compute them before sharing a Graph across threads.
   mutable Csr out_csr_, in_csr_;
   mutable bool have_out_ = false, have_in_ = false;
+  mutable std::vector<vid_t> out_deg_, in_deg_, tot_deg_;
+  mutable bool have_out_deg_ = false, have_in_deg_ = false,
+               have_tot_deg_ = false;
+  mutable std::uint64_t content_hash_ = 0;
+  mutable bool have_hash_ = false;
 };
 
 /// Builds a CSR from an edge list, ordered by (src, then input order).

@@ -1,24 +1,45 @@
 // Graph serialization: whitespace-separated edge-list text (SNAP style,
 // '#' comments, optional third weight column) and a compact binary format.
+//
+// Text parsing is chunk-parallel: the input splits into byte ranges snapped
+// to newline boundaries, chunks parse independently with std::from_chars,
+// and per-chunk edge vectors concatenate in chunk order — so the parsed
+// graph (and the first-malformed-line error) is bit-identical to the serial
+// path for any thread count.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "graph/graph.hpp"
 
 namespace lazygraph::io {
 
+struct ReadOptions {
+  /// Parser threads (= parse chunks). 1 = serial, 0 = hardware concurrency.
+  /// Results never depend on this value.
+  std::size_t threads = 1;
+};
+
 /// Reads "src dst [weight]" lines; '#'-prefixed lines are comments.
 /// num_vertices is max id + 1.
-Graph read_edge_list(std::istream& in);
-Graph read_edge_list_file(const std::string& path);
+Graph read_edge_list(std::istream& in, const ReadOptions& opts = {});
+Graph read_edge_list_file(const std::string& path,
+                          const ReadOptions& opts = {});
+/// Same parser over an in-memory buffer (zero-copy chunking; the stream and
+/// file entry points slurp into a buffer and call this).
+Graph read_edge_list_text(std::string_view text, const ReadOptions& opts = {});
 
 /// Writes "src dst weight" lines.
 void write_edge_list(const Graph& g, std::ostream& out);
 void write_edge_list_file(const Graph& g, const std::string& path);
 
-/// Binary format: magic, num_vertices, num_edges, then packed edges.
+/// Binary format: magic, num_vertices, num_edges, then packed edges. The
+/// reader validates the header against the payload (vertex count must fit
+/// vid_t, the edge payload size must not overflow, and every edge endpoint
+/// must be < num_vertices) and throws std::runtime_error on violations.
 void write_binary(const Graph& g, std::ostream& out);
 void write_binary_file(const Graph& g, const std::string& path);
 Graph read_binary(std::istream& in);

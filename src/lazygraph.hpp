@@ -27,6 +27,7 @@
 #include "graph/graph.hpp"
 #include "graph/io.hpp"
 #include "graph/reference.hpp"
+#include "partition/artifact_cache.hpp"
 #include "partition/dgraph.hpp"
 #include "partition/edge_splitter.hpp"
 #include "partition/partitioner.hpp"

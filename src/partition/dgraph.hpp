@@ -52,9 +52,17 @@ class DistributedGraph {
   /// to parallel-edges mode: each is replicated to every machine holding a
   /// replica of its destination, creating source replicas where missing
   /// (the paper's dispatch rule for unidirectional algorithms).
+  ///
+  /// `threads` (1 = serial, 0 = hardware concurrency) parallelizes the heavy
+  /// stages — replica-mask build (per-range masks OR-folded), master
+  /// selection (pure per-vertex), edge bucketing (per-range buckets
+  /// concatenated in range order), and the per-machine CSR construction
+  /// (machines are independent) — on the shared setup pool. Output is
+  /// bit-identical for every thread count.
   static DistributedGraph build(const Graph& g, machine_t machines,
                                 const Assignment& assignment,
-                                std::span<const std::uint64_t> split_edges = {});
+                                std::span<const std::uint64_t> split_edges = {},
+                                std::size_t threads = 1);
 
   machine_t num_machines() const { return static_cast<machine_t>(parts_.size()); }
   vid_t num_global_vertices() const { return num_global_; }

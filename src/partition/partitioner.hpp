@@ -28,6 +28,13 @@ struct PartitionOptions {
   std::uint64_t seed = 1;
   /// hybrid-cut: destinations with in-degree above this are cut by source.
   std::uint32_t hybrid_threshold = 100;
+  /// Setup-path threads (1 = serial, 0 = hardware concurrency). Purely an
+  /// execution knob: every cut is bit-identical at any value. random/grid/
+  /// hybrid parallelize over edge ranges (pure per-edge hashes), oblivious
+  /// over its per-loader greedy streams; coordinated stays serial by
+  /// construction (one shared replica table — every placement depends on
+  /// all previous ones).
+  std::size_t threads = 1;
 };
 
 /// Per-edge machine assignment; edge_machine[i] corresponds to g.edges()[i].
@@ -42,11 +49,15 @@ Assignment assign_edges(const Graph& g, machine_t machines,
 /// Replication factor lambda: average number of machines spanned per vertex
 /// (vertices with no edges count as 1 replica). This is the quantity the
 /// paper's Table 1 reports and Section 5.3 correlates speedups with.
+/// `threads` parallelizes the mask build with per-range masks folded by
+/// bitwise OR (commutative), so the result never depends on it.
 double replication_factor(const Graph& g, const Assignment& a,
-                          machine_t machines);
+                          machine_t machines, std::size_t threads = 1);
 
-/// Per-machine edge counts (load balance diagnostics).
+/// Per-machine edge counts (load balance diagnostics). `threads`
+/// parallelizes with per-range histograms summed in range order.
 std::vector<std::uint64_t> machine_loads(const Assignment& a,
-                                         machine_t machines);
+                                         machine_t machines,
+                                         std::size_t threads = 1);
 
 }  // namespace lazygraph::partition

@@ -17,6 +17,11 @@ void SimMetrics::print(std::ostream& os, const std::string& label) const {
      << label << ": msgs=" << network_messages << " traffic="
      << std::setprecision(3) << network_mb() << "MB a2a=" << a2a_exchanges
      << " m2m=" << m2m_exchanges << "\n";
+  if (setup_seconds > 0.0 || setup_cache_hits + setup_cache_misses > 0) {
+    os << std::setprecision(4) << label << ": setup_wall=" << setup_seconds
+       << "s cache_hits=" << setup_cache_hits
+       << " cache_misses=" << setup_cache_misses << "\n";
+  }
 }
 
 }  // namespace lazygraph::sim

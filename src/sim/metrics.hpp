@@ -34,6 +34,14 @@ struct SimMetrics {
   double barrier_seconds = 0.0;
   double overhead_seconds = 0.0;  // per-message software overhead (async)
 
+  // --- setup path (wall-clock, NOT simulated time) ---
+  /// Host seconds spent in ingest/partition/build before the engine ran.
+  /// Deliberately excluded from sim_seconds(): setup is real elapsed time of
+  /// this process, not modeled cluster time.
+  double setup_seconds = 0.0;
+  std::uint64_t setup_cache_hits = 0;    // artifact-cache hits during setup
+  std::uint64_t setup_cache_misses = 0;  // ... misses (stages computed)
+
   double sim_seconds() const {
     return compute_seconds + comm_seconds + barrier_seconds +
            overhead_seconds;

@@ -30,6 +30,9 @@ constexpr struct {
     {SpanKind::kFineGrained, "fine_grained"},
     {SpanKind::kCompute, "compute"},
     {SpanKind::kExchange, "exchange"},
+    {SpanKind::kIngest, "ingest"},
+    {SpanKind::kPartition, "partition"},
+    {SpanKind::kBuild, "build"},
 };
 
 std::string mode_name(int mode) {
@@ -154,9 +157,15 @@ void Tracer::set_run_info(std::string engine, std::string algo) {
   if (!algo.empty()) algo_ = std::move(algo);
 }
 
+void Tracer::record_setup(SetupSpan s) {
+  s.start_seconds = total_setup_seconds();
+  setup_spans_.push_back(s);
+}
+
 void Tracer::clear() {
   spans_.clear();
   snapshots_.clear();
+  setup_spans_.clear();
   engine_.clear();
   algo_.clear();
 }
@@ -167,10 +176,23 @@ double Tracer::total_span_seconds() const {
   return total;
 }
 
+double Tracer::total_setup_seconds() const {
+  double total = 0.0;
+  for (const SetupSpan& s : setup_spans_) total += s.duration_seconds;
+  return total;
+}
+
 void Tracer::write_jsonl(std::ostream& os) const {
   os << "{\"record\":\"run\",\"engine\":" << quote(engine_)
      << ",\"algo\":" << quote(algo_) << ",\"spans\":" << spans_.size()
-     << ",\"supersteps\":" << snapshots_.size() << "}\n";
+     << ",\"supersteps\":" << snapshots_.size()
+     << ",\"setup\":" << setup_spans_.size() << "}\n";
+  for (const SetupSpan& s : setup_spans_) {
+    os << "{\"record\":\"setup\",\"kind\":\"" << to_string(s.kind)
+       << "\",\"start\":" << fmt(s.start_seconds) << ",\"seconds\":"
+       << fmt(s.duration_seconds) << ",\"items\":" << s.items
+       << ",\"cache_hit\":" << (s.cache_hit ? "true" : "false") << "}\n";
+  }
   for (const TraceSpan& s : spans_) {
     os << "{\"record\":\"span\",\"kind\":\"" << to_string(s.kind)
        << "\",\"superstep\":" << s.superstep << ",\"start\":"
@@ -233,6 +255,16 @@ Tracer Tracer::read_jsonl(std::istream& is) {
       s.comm_mode = parse_mode(o);
       s.prediction = {o.num("t_a2a", -1.0), o.num("t_m2m", -1.0)};
       t.record_superstep(s);
+    } else if (record == "setup") {
+      SetupSpan s;
+      s.kind = span_kind_from_string(o.str("kind"));
+      s.start_seconds = o.num("start");
+      s.duration_seconds = o.num("seconds");
+      s.items = o.u64("items");
+      s.cache_hit = o.boolean("cache_hit");
+      // Direct push (not record_setup): preserve recorded starts exactly so
+      // the round-trip is bit-faithful even for hand-edited files.
+      t.setup_spans_.push_back(s);
     } else {
       throw std::invalid_argument("trace: unknown record type: " + record);
     }
@@ -311,6 +343,15 @@ Table Tracer::kind_summary_table() const {
                Table::num(total > 0.0 ? 100.0 * a.seconds / total : 0.0, 1) +
                    "%",
                Table::num(a.bytes), Table::num(a.messages)});
+  }
+  return t;
+}
+
+Table Tracer::setup_table() const {
+  Table t({"stage", "wall(s)", "items", "cached"});
+  for (const SetupSpan& s : setup_spans_) {
+    t.add_row({to_string(s.kind), Table::num(s.duration_seconds, 6),
+               Table::num(s.items), s.cache_hit ? "hit" : "miss"});
   }
   return t;
 }

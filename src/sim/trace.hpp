@@ -37,6 +37,12 @@ enum class SpanKind : std::uint8_t {
   kFineGrained,        // fine-grained traffic (per-message overhead path)
   kCompute,            // generic compute charge (untyped callers)
   kExchange,           // generic exchange charge (untyped callers)
+  // Setup-path kinds: used only by SetupSpan (wall-clock timeline), never by
+  // engine TraceSpans — they would break the spans-tile-sim_seconds
+  // invariant the oracle checks.
+  kIngest,             // edge-list / binary graph loading + generation
+  kPartition,          // vertex-cut edge assignment
+  kBuild,              // DistributedGraph CSR construction
 };
 
 const char* to_string(SpanKind k);
@@ -76,6 +82,21 @@ struct TraceSpan {
   bool operator==(const TraceSpan&) const = default;
 };
 
+/// One wall-clock setup stage (ingest / partition / build). Setup spans live
+/// on their own timeline, separate from the simulated-time TraceSpans: they
+/// measure real elapsed seconds of the host process, are excluded from
+/// total_span_seconds(), and never participate in the spans-tile-sim-time
+/// invariant.
+struct SetupSpan {
+  SpanKind kind = SpanKind::kIngest;
+  double start_seconds = 0.0;     // running total of prior setup spans
+  double duration_seconds = 0.0;  // wall-clock seconds of this stage
+  std::uint64_t items = 0;        // edges read / edges assigned / local edges
+  bool cache_hit = false;         // artifact cache satisfied this stage
+
+  bool operator==(const SetupSpan&) const = default;
+};
+
 /// What the adaptive machinery decided at one coherency point.
 struct SuperstepSnapshot {
   std::uint64_t superstep = 0;
@@ -97,14 +118,20 @@ class Tracer {
 
   void record_span(const TraceSpan& s) { spans_.push_back(s); }
   void record_superstep(const SuperstepSnapshot& s) { snapshots_.push_back(s); }
+  /// Appends a setup stage; start_seconds is assigned automatically (the
+  /// running total of previously recorded setup spans).
+  void record_setup(SetupSpan s);
 
   const std::vector<TraceSpan>& spans() const { return spans_; }
   const std::vector<SuperstepSnapshot>& snapshots() const { return snapshots_; }
+  const std::vector<SetupSpan>& setup_spans() const { return setup_spans_; }
   void clear();
 
   /// Sum of all span durations; equals SimMetrics::sim_seconds() of the run
   /// the tracer was attached to.
   double total_span_seconds() const;
+  /// Sum of setup-span durations (wall-clock; disjoint from simulated time).
+  double total_setup_seconds() const;
 
   // --- export ---
   /// One JSON object per line: a "run" header, then "span" / "superstep"
@@ -121,12 +148,15 @@ class Tracer {
   Table kind_summary_table() const;
   /// The per-superstep decision log.
   Table supersteps_table() const;
+  /// The wall-clock setup timeline (empty table if no setup was recorded).
+  Table setup_table() const;
 
  private:
   std::string engine_;
   std::string algo_;
   std::vector<TraceSpan> spans_;
   std::vector<SuperstepSnapshot> snapshots_;
+  std::vector<SetupSpan> setup_spans_;
 };
 
 }  // namespace lazygraph::sim

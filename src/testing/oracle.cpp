@@ -15,6 +15,7 @@
 #include "algos/widest_path.hpp"
 #include "engine/run.hpp"
 #include "graph/reference.hpp"
+#include "partition/artifact_cache.hpp"
 #include "partition/dgraph.hpp"
 #include "partition/edge_splitter.hpp"
 #include "sim/cluster.hpp"
@@ -200,22 +201,26 @@ std::optional<std::string> run_program(const Scenario& s,
                                        const OracleOptions& o, const Graph& g,
                                        const P& prog, AgainstRef against_ref,
                                        ReplicaEq replica_eq, BitEq bit_eq) {
-  const auto assignment =
-      partition::assign_edges(g, s.machines, {s.cut, s.partition_seed});
-  const auto dg_plain =
-      partition::DistributedGraph::build(g, s.machines, assignment);
-  std::optional<partition::DistributedGraph> dg_split;
+  // Partition/build through the artifact cache: the fuzz loop revisits the
+  // same (graph, machines, cut, seed) scenario across engines and shrink
+  // steps, and the content-keyed cache makes those replays free without
+  // changing what gets built (cached artifacts are bit-identical).
+  partition::ArtifactCache& cache = partition::ArtifactCache::global();
+  const partition::PartitionOptions popts{.kind = s.cut,
+                                          .seed = s.partition_seed};
+  const auto dg_plain_p =
+      cache.dgraph(g, s.machines, popts, {.enabled = false});
+  std::shared_ptr<const partition::DistributedGraph> dg_split_p;
   if (s.split) {
     partition::EdgeSplitterOptions eso;
     eso.t_extra = 0.001;
-    const auto split_edges = partition::select_split_edges(g, s.machines, eso);
-    dg_split = partition::DistributedGraph::build(g, s.machines, assignment,
-                                                  split_edges);
+    dg_split_p = cache.dgraph(g, s.machines, popts, eso);
   }
+  const auto& dg_plain = *dg_plain_p;
   // Eager engines require unsplit graphs; the lazy engines take the
   // parallel-edges version when the scenario asks for it. Both views must
   // reach the same user-level fixed point.
-  const auto& dg_lazy = dg_split ? *dg_split : dg_plain;
+  const auto& dg_lazy = dg_split_p ? *dg_split_p : dg_plain;
 
   bool injected = false;
   for (EngineKind kind : kAllEngines) {

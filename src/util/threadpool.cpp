@@ -197,4 +197,31 @@ void serial_for(std::size_t n, const std::function<void(std::size_t)>& body) {
   for (std::size_t i = 0; i < n; ++i) body(i);
 }
 
+ThreadPool& setup_pool() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+std::size_t resolve_setup_threads(std::size_t threads) {
+  if (threads != 0) return threads;
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
+void parallel_ranges(
+    std::size_t n, std::size_t ranges,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (ranges <= 1) {
+    body(0, 0, n);
+    return;
+  }
+  ranges = std::min(ranges, n);
+  const auto bound = [&](std::size_t r) { return r * n / ranges; };
+  setup_pool().parallel_for(ranges, [&](std::size_t r) {
+    const std::size_t begin = bound(r), end = bound(r + 1);
+    if (begin < end) body(r, begin, end);
+  });
+}
+
 }  // namespace lazygraph

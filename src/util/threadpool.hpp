@@ -60,4 +60,24 @@ class ThreadPool {
 /// *execution order* (not just results) is wanted, e.g. in tests.
 void serial_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
+/// Process-wide pool for the setup path (ingest -> partition -> build).
+/// Created on first use with hardware_concurrency workers and shared by
+/// every setup-stage API; each call bounds its own parallelism by splitting
+/// work into `ranges` slices (see parallel_ranges), so a wide pool never
+/// forces wide execution. Engines keep using their Cluster-owned pools.
+ThreadPool& setup_pool();
+
+/// Resolves a user-facing thread-count knob: 0 means hardware concurrency,
+/// anything else passes through.
+std::size_t resolve_setup_threads(std::size_t threads);
+
+/// Splits [0, n) into `ranges` contiguous slices and runs
+/// body(range_index, begin, end) for every non-empty slice, on setup_pool()
+/// when ranges > 1 (inline otherwise). The decomposition depends only on
+/// (n, ranges), and callers merge per-range results in range order (or use
+/// commutative folds), so results are bit-identical for any pool width.
+void parallel_ranges(
+    std::size_t n, std::size_t ranges,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
 }  // namespace lazygraph

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <limits>
 #include <sstream>
 
 #include "graph/generators.hpp"
@@ -67,6 +69,58 @@ TEST(BinaryIo, RejectsTruncatedData) {
   std::stringstream truncated(data,
                               std::ios::in | std::ios::out | std::ios::binary);
   EXPECT_THROW(io::read_binary(truncated), std::runtime_error);
+}
+
+// Hostile-header regressions: read_binary must validate the header against
+// the payload instead of trusting it.
+
+namespace {
+// A well-formed file for graph g, with the header fields rewritten.
+std::string binary_with_header(const Graph& g, std::uint64_t n,
+                               std::uint64_t m) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_binary(g, ss);
+  std::string data = ss.str();
+  std::memcpy(data.data() + 8, &n, sizeof(n));
+  std::memcpy(data.data() + 16, &m, sizeof(m));
+  return data;
+}
+}  // namespace
+
+TEST(BinaryIo, RejectsEdgeCountThatOverflowsPayloadSize) {
+  const Graph g = gen::erdos_renyi(10, 20, 1);
+  // m * sizeof(Edge) would overflow a streamsize; must fail cleanly, not
+  // allocate or read a wrapped-around payload size.
+  const std::string data = binary_with_header(
+      g, g.num_vertices(), std::numeric_limits<std::uint64_t>::max() / 4);
+  std::stringstream ss(data, std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_THROW(io::read_binary(ss), std::runtime_error);
+}
+
+TEST(BinaryIo, RejectsInflatedEdgeCount) {
+  const Graph g = gen::erdos_renyi(10, 20, 1);
+  // Header claims more edges than the payload holds.
+  const std::string data =
+      binary_with_header(g, g.num_vertices(), g.num_edges() + 1000);
+  std::stringstream ss(data, std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_THROW(io::read_binary(ss), std::runtime_error);
+}
+
+TEST(BinaryIo, RejectsEndpointsOutsideDeclaredVertexRange) {
+  const Graph g = gen::erdos_renyi(10, 20, 1);
+  // Header shrinks n below the actual endpoint range: every edge whose
+  // endpoint is >= n must be rejected, or downstream CSR builds index OOB.
+  const std::string data = binary_with_header(g, 2, g.num_edges());
+  std::stringstream ss(data, std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_THROW(io::read_binary(ss), std::runtime_error);
+}
+
+TEST(BinaryIo, RejectsVertexCountBeyondVidRange) {
+  const Graph g = gen::erdos_renyi(10, 20, 1);
+  const std::string data = binary_with_header(
+      g, std::uint64_t{1} << 40, g.num_edges());
+  std::stringstream ss(data, std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_THROW(io::read_binary(ss), std::runtime_error);
 }
 
 TEST(FileIo, WriteAndReadBack) {

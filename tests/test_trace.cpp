@@ -151,11 +151,45 @@ TEST(Trace, JsonlRoundTripIsExact) {
 }
 
 TEST(Trace, SpanKindNamesRoundTrip) {
-  for (int k = 0; k <= static_cast<int>(SpanKind::kExchange); ++k) {
+  for (int k = 0; k <= static_cast<int>(SpanKind::kBuild); ++k) {
     const auto kind = static_cast<SpanKind>(k);
     EXPECT_EQ(sim::span_kind_from_string(sim::to_string(kind)), kind);
   }
   EXPECT_THROW(sim::span_kind_from_string("bogus"), std::invalid_argument);
+}
+
+TEST(Trace, SetupSpansLiveOnTheirOwnTimeline) {
+  Traced t = traced_pagerank(EngineKind::kLazyBlock);
+  const double sim_total = t.tracer.total_span_seconds();
+  t.tracer.record_setup({.kind = SpanKind::kIngest,
+                         .duration_seconds = 0.25,
+                         .items = 1000});
+  t.tracer.record_setup({.kind = SpanKind::kPartition,
+                         .duration_seconds = 0.5,
+                         .items = 1000,
+                         .cache_hit = true});
+  // Starts chain along the setup (wall-clock) timeline...
+  ASSERT_EQ(t.tracer.setup_spans().size(), 2u);
+  EXPECT_DOUBLE_EQ(t.tracer.setup_spans()[0].start_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(t.tracer.setup_spans()[1].start_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(t.tracer.total_setup_seconds(), 0.75);
+  // ...and never leak into the simulated-time accounting the oracle checks.
+  EXPECT_DOUBLE_EQ(t.tracer.total_span_seconds(), sim_total);
+
+  // JSONL round-trips setup records exactly, alongside the engine spans.
+  std::stringstream ss;
+  t.tracer.write_jsonl(ss);
+  const Tracer back = Tracer::read_jsonl(ss);
+  EXPECT_EQ(back.setup_spans(), t.tracer.setup_spans());
+  EXPECT_EQ(back.spans(), t.tracer.spans());
+
+  std::stringstream table;
+  t.tracer.setup_table().print(table);
+  EXPECT_NE(table.str().find("ingest"), std::string::npos);
+  EXPECT_NE(table.str().find("hit"), std::string::npos);
+
+  t.tracer.clear();
+  EXPECT_TRUE(t.tracer.setup_spans().empty());
 }
 
 TEST(Trace, ClearEmptiesTheTimeline) {

@@ -14,9 +14,13 @@
 //   --machines=N --scale=S --cut=random|grid|coordinated|hybrid
 //   --split=true|false  --source=V  --k=K  --tol=T  --top=N
 //   --threads-per-machine=N  intra-machine sweep threads (default 1)
+//   --ingest-threads=N   setup-path threads for load/partition/build
+//                        (default 1; 0 = hardware concurrency; the output is
+//                        bit-identical at any value)
 //   --trace=FILE         write the run's JSONL trace to FILE
 //   --trace-summary[=K]  print the top-K most expensive spans (default 10)
 //                        plus per-kind totals and the superstep decision log
+#include <chrono>
 #include <fstream>
 #include <iostream>
 
@@ -43,6 +47,11 @@ partition::CutKind parse_cut(const std::string& s) {
   throw std::invalid_argument("unknown cut: " + s);
 }
 
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -56,12 +65,19 @@ int main(int argc, char** argv) try {
       opts.get_bool("split", kind == engine::EngineKind::kLazyBlock ||
                                  kind == engine::EngineKind::kLazyVertex);
 
+  const auto ingest_threads =
+      static_cast<std::size_t>(opts.get_int("ingest-threads", 1));
+
+  sim::Tracer tracer;
+  const bool want_trace = opts.has("trace") || opts.has("trace-summary");
+
   // Load or generate the user-view graph.
   Graph g;
   std::string graph_name;
+  const auto t_ingest = std::chrono::steady_clock::now();
   if (opts.has("graph")) {
     graph_name = opts.get("graph", "");
-    g = io::read_edge_list_file(graph_name);
+    g = io::read_edge_list_file(graph_name, {.threads = ingest_threads});
   } else {
     graph_name = opts.get("dataset", "webgoogle-like");
     g = datasets::make(datasets::spec_by_name(graph_name),
@@ -69,28 +85,46 @@ int main(int argc, char** argv) try {
   }
   const bool symmetrize = (algo == "cc" || algo == "kcore");
   if (symmetrize) g = g.symmetrized();
+  const double ingest_wall = seconds_since(t_ingest);
   std::cout << graph_name << ": " << g.num_vertices() << " vertices, "
             << g.num_edges() << " edges, E/V="
             << Table::num(g.edge_vertex_ratio(), 2) << "\n";
 
   // Partition (+ optional edge splitting for the lazy engines).
+  const auto t_partition = std::chrono::steady_clock::now();
   const auto assignment = partition::assign_edges(
-      g, machines, {cut, static_cast<std::uint64_t>(opts.get_int("seed", 7))});
+      g, machines,
+      {.kind = cut,
+       .seed = static_cast<std::uint64_t>(opts.get_int("seed", 7)),
+       .threads = ingest_threads});
+  const double partition_wall = seconds_since(t_partition);
   std::vector<std::uint64_t> split;
   const bool lazy_engine = kind == engine::EngineKind::kLazyBlock ||
                            kind == engine::EngineKind::kLazyVertex;
   if (want_split && lazy_engine) {
     split = partition::select_split_edges(g, machines, {});
   }
-  const auto dg =
-      partition::DistributedGraph::build(g, machines, assignment, split);
+  const auto t_build = std::chrono::steady_clock::now();
+  const auto dg = partition::DistributedGraph::build(g, machines, assignment,
+                                                     split, ingest_threads);
+  const double build_wall = seconds_since(t_build);
   std::cout << "partition: " << to_string(cut) << " over " << machines
             << " machines, lambda=" << Table::num(dg.replication_factor(), 2)
             << ", parallel-edge copies=" << dg.parallel_edge_copies() << "\n";
 
+  if (want_trace) {
+    tracer.record_setup({.kind = sim::SpanKind::kIngest,
+                         .duration_seconds = ingest_wall,
+                         .items = g.num_edges()});
+    tracer.record_setup({.kind = sim::SpanKind::kPartition,
+                         .duration_seconds = partition_wall,
+                         .items = g.num_edges()});
+    tracer.record_setup({.kind = sim::SpanKind::kBuild,
+                         .duration_seconds = build_wall,
+                         .items = dg.total_local_edges()});
+  }
+
   sim::Cluster cluster({machines, {}, 0});
-  sim::Tracer tracer;
-  const bool want_trace = opts.has("trace") || opts.has("trace-summary");
 
   engine::RunConfig cfg;
   cfg.kind = kind;  // graph_ev_ratio auto-derives from the dg's user view
@@ -164,6 +198,7 @@ int main(int argc, char** argv) try {
   std::cout << "engine: " << to_string(kind)
             << ", converged=" << converged << ", supersteps=" << supersteps
             << "\n";
+  cluster.metrics().setup_seconds = ingest_wall + partition_wall + build_wall;
   cluster.metrics().print(std::cout, algo);
 
   if (want_trace) tracer.set_run_info(to_string(kind), algo);
@@ -179,6 +214,11 @@ int main(int argc, char** argv) try {
   if (opts.has("trace-summary")) {
     auto k = static_cast<std::size_t>(opts.get_int("trace-summary", 10));
     if (k == 0) k = 10;  // bare --trace-summary parses as 0
+    if (!tracer.setup_spans().empty()) {
+      std::cout << "\nsetup stages (wall-clock, " << ingest_threads
+                << " thread(s); not simulated time):\n";
+      tracer.setup_table().print(std::cout);
+    }
     std::cout << "\ntop-" << k << " spans by simulated time:\n";
     tracer.top_spans_table(k).print(std::cout);
     std::cout << "\nper-kind totals:\n";
