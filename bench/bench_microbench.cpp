@@ -150,6 +150,48 @@ BENCHMARK(BM_IngestScaling)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// The plan-lowering cell (CI uploads its JSON as BENCH_pipeline.json): the
+// flagship pipeline `cc |> kcore(8) |> pagerank` lowered sequentially
+// (arg 0: per-stage cold partitions/builds, full init scans, no fusion)
+// versus composed (arg 1: artifact cache, cc+kcore fused into one engine
+// run, k-core's survivors carried as pagerank's initial frontier). Both
+// lowerings produce bit-identical results — tests/test_plan.cpp holds that
+// invariant — so the counters isolate pure redundant work: the composed row
+// must show fewer partitions/builds/engine-runs and lower sweep_scanned.
+void BM_PipelineFusion(benchmark::State& state) {
+  const bool composed = state.range(0) != 0;
+  static const Graph& g = []() -> const Graph& {
+    static const Graph pg = gen::rmat(11, 10, 0.57, 0.19, 0.19, 7, {1.0f, 4.0f});
+    return pg;
+  }();
+  const machine_t machines = 8;
+  const plan::Pipeline pipe =
+      plan::Pipeline::parse("cc|kcore(8)|pagerank(0.001)");
+  plan::LowerOptions lopts;
+  if (!composed) lopts = plan::sequential_baseline(lopts);
+  plan::PipelineResult last;
+  for (auto _ : state) {
+    // Fresh cache + executor per iteration: the lowering's own reuse (not
+    // cross-iteration memo replay) is what gets measured.
+    partition::ArtifactCache cache;
+    plan::Executor ex(g, machines,
+                      {.kind = partition::CutKind::kCoordinated, .seed = 1},
+                      composed ? &cache : nullptr);
+    last = ex.run(pipe, lopts);
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["partitions"] =
+      static_cast<double>(last.partitions_computed);
+  state.counters["builds"] = static_cast<double>(last.builds_computed);
+  state.counters["engine_runs"] = static_cast<double>(last.engine_runs);
+  state.counters["global_syncs"] =
+      static_cast<double>(last.metrics.global_syncs);
+  state.counters["sweep_scanned"] =
+      static_cast<double>(last.metrics.sweep_scanned);
+  state.counters["sim_seconds"] = last.metrics.sim_seconds();
+}
+BENCHMARK(BM_PipelineFusion)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 void BM_ReferencePagerank(benchmark::State& state) {
   const Graph& g = test_graph();
   for (auto _ : state) {

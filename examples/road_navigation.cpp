@@ -1,7 +1,10 @@
-// Road navigation: single-source shortest paths over the road-USA analogue —
-// the workload where the paper's lazy coherency shines brightest (low
-// replication factor, long propagation chains that eager engines pay one
-// global superstep per hop for).
+// Road navigation on the road-USA analogue, written against the plan API:
+// record `bfs(source) |> sssp(source)` and lower it once. BFS discovers the
+// reachable intersections in cheap integer hops; the executor carries that
+// reached set as SSSP's initial frontier, so the weighted pass never scans
+// the unreachable part of the map. Lowered twice — once per engine — the
+// second lowering reuses every partition and build from the first through
+// the artifact cache.
 //
 //   ./road_navigation [--machines=16] [--scale=0.2] [--source=-1]
 #include <iostream>
@@ -30,36 +33,51 @@ int main(int argc, char** argv) {
     source = g.num_vertices() / 2;  // middle of the map
   }
 
-  const auto assignment = partition::assign_edges(
-      g, machines, {partition::CutKind::kCoordinated, 7});
-  const auto dg = partition::DistributedGraph::build(g, machines, assignment);
-  std::cout << "partitioned over " << machines << " machines, lambda="
-            << Table::num(dg.replication_factor(), 2) << "\n\n";
+  plan::Pipeline pipe;
+  pipe.bfs(source).sssp(source);
+  std::cout << "pipeline: " << pipe.to_string() << "\n\n";
 
-  const algos::SSSP sssp{.source = source};
-  Table t({"engine", "sim-time(s)", "global-syncs", "supersteps"});
-  std::vector<double> dist;
+  plan::Executor ex(g, machines,
+                    {.kind = partition::CutKind::kCoordinated, .seed = 7},
+                    &partition::ArtifactCache::global());
+
+  Table t({"engine", "stage", "scope", "frontier", "sim-time(s)",
+           "global-syncs", "supersteps"});
+  std::vector<algos::SSSP::VData> dist;
   for (const auto kind :
        {engine::EngineKind::kSync, engine::EngineKind::kLazyBlock}) {
-    sim::Cluster cluster({machines, {}, 0});
-    const auto r = engine::run({.kind = kind}, dg, sssp, cluster);
-    t.add_row({to_string(kind), Table::num(r.metrics.sim_seconds(), 4),
-               Table::num(r.metrics.global_syncs),
-               Table::num(r.supersteps)});
+    plan::LowerOptions lopts;
+    lopts.default_engine = kind;
+    const auto res = ex.run(pipe, lopts);
+    if (!res.converged) {
+      std::cout << "pipeline did not converge\n";
+      return 1;
+    }
+    std::cout << engine::to_string(kind) << ": " << res.engine_runs
+              << " engine run(s), " << res.partitions_computed
+              << " new partition(s), " << res.builds_computed
+              << " new build(s)\n";
+    for (const auto& r : res.stages) {
+      t.add_row({engine::to_string(kind), r.stage, Table::num(r.scope_size),
+                 Table::num(r.carried_frontier),
+                 Table::num(r.sim_seconds, 4), Table::num(r.global_syncs),
+                 Table::num(r.supersteps)});
+    }
     if (kind == engine::EngineKind::kLazyBlock) {
-      dist.resize(r.data.size());
-      for (std::size_t v = 0; v < r.data.size(); ++v)
-        dist[v] = r.data[v].dist;
+      dist = res.data_as<algos::SSSP>(1);
     }
   }
+  std::cout << "\n";
   t.print(std::cout);
 
-  // Validate against Dijkstra and summarize reachability.
+  // Validate against Dijkstra and summarize reachability. Intersections
+  // outside the carried BFS scope were never initialized and keep their
+  // infinite distance — exactly what Dijkstra reports for them.
   const auto expect = reference::sssp(g, source);
   std::size_t reachable = 0, mismatches = 0;
   double max_dist = 0;
   for (vid_t v = 0; v < g.num_vertices(); ++v) {
-    if (dist[v] != expect[v]) ++mismatches;
+    if (dist[v].dist != expect[v]) ++mismatches;
     if (expect[v] < std::numeric_limits<double>::infinity()) {
       ++reachable;
       max_dist = std::max(max_dist, expect[v]);

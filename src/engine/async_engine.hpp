@@ -32,6 +32,8 @@ namespace lazygraph::engine {
 
 struct AsyncOptions {
   std::uint64_t max_rounds = 1'000'000;
+  /// Optional pipeline-stage injection (see InitInjection; not owned).
+  const InitInjection* init = nullptr;
 };
 
 template <VertexProgram P>
@@ -48,8 +50,9 @@ class AsyncEngine {
 
   RunResult<P> run() {
     const machine_t p = dg_.num_machines();
-    states_ = make_states(dg_, prog_);
-    init_eager_messages(prog_, dg_, states_);
+    states_ = make_states(dg_, prog_, opts_.init);
+    cluster_.metrics().sweep_scanned +=
+        init_eager_messages(prog_, dg_, states_, opts_.init);
 
     RunResult<P> result;
     std::vector<std::uint64_t> work(p);
@@ -141,6 +144,7 @@ class AsyncEngine {
           }
 
           const VertexInfo info = vertex_info<P>(part, v);
+          s.applied[v] = 1;
           const auto payload = prog_.apply(s.vdata[v], info, acc);
 
           // Eager coherency: immediately replicate the new vertex data.
@@ -197,8 +201,7 @@ class AsyncEngine {
       }
     }
 
-    result.data = collect_master_data(dg_, states_);
-    finalize_result(result, cluster_);
+    finalize_result(result, cluster_, dg_, states_);
     return result;
   }
 

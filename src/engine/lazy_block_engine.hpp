@@ -48,6 +48,8 @@ struct LazyOptions {
   /// Intra-machine thread budget for the local sweeps. Values > 1 switch
   /// Stage 1 from Gauss-Seidel to snapshot sub-sweeps (see header comment).
   std::uint32_t threads_per_machine = 1;
+  /// Optional pipeline-stage injection (see InitInjection; not owned).
+  const InitInjection* init = nullptr;
 };
 
 template <VertexProgram P>
@@ -67,8 +69,9 @@ class LazyBlockAsyncEngine {
 
   RunResult<P> run() {
     const machine_t p = dg_.num_machines();
-    states_ = make_states(dg_, prog_);
-    init_lazy_messages(prog_, dg_, states_);
+    states_ = make_states(dg_, prog_, opts_.init);
+    cluster_.metrics().sweep_scanned +=
+        init_lazy_messages(prog_, dg_, states_, opts_.init);
     exch_pending_.assign(p, {});
     exch_fresh_.assign(p, {});
     const SweepExec exec{&cluster_, opts_.threads_per_machine};
@@ -165,8 +168,7 @@ class LazyBlockAsyncEngine {
       }
     }
 
-    result.data = collect_master_data(dg_, states_);
-    finalize_result(result, cluster_);
+    finalize_result(result, cluster_, dg_, states_);
     return result;
   }
 

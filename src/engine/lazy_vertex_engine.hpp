@@ -27,6 +27,8 @@ struct LazyVertexOptions {
   std::uint64_t max_cycles = 10'000'000;
   /// Local applies a spanning replica may perform between coherency events.
   std::uint32_t staleness = 4;
+  /// Optional pipeline-stage injection (see InitInjection; not owned).
+  const InitInjection* init = nullptr;
 };
 
 template <VertexProgram P>
@@ -41,8 +43,9 @@ class LazyVertexAsyncEngine {
 
   RunResult<P> run() {
     const machine_t p = dg_.num_machines();
-    states_ = make_states(dg_, prog_);
-    init_lazy_messages(prog_, dg_, states_);
+    states_ = make_states(dg_, prog_, opts_.init);
+    cluster_.metrics().sweep_scanned +=
+        init_lazy_messages(prog_, dg_, states_, opts_.init);
 
     queues_.assign(p, {});
     in_queue_.resize(p);
@@ -108,8 +111,7 @@ class LazyVertexAsyncEngine {
       }
     }
 
-    result.data = collect_master_data(dg_, states_);
-    finalize_result(result, cluster_);
+    finalize_result(result, cluster_, dg_, states_);
     return result;
   }
 
@@ -150,6 +152,7 @@ class LazyVertexAsyncEngine {
     ++cluster_.metrics().applies;
     ++work[m];
     if (spans) ++applies_since_[m][v];
+    s.applied[v] = 1;
     const auto payload = prog_.apply(s.vdata[v], info, acc);
     if (payload) {
       for (std::uint64_t e = part.offsets[v]; e < part.offsets[v + 1]; ++e) {

@@ -27,60 +27,83 @@
 
 namespace lazygraph::engine {
 
+/// Drives an init-placement body over each machine's replicas: the full
+/// ascending lvid scan by default, or the injection's (ascending) worklist
+/// when one is attached. Because the restricted pass visits a subsequence of
+/// the scan's vertices in scan order, the deposits it makes are emitted in
+/// the exact order the full scan would emit them — bit-identical results
+/// whenever the worklist covers every vertex the program initializes.
+/// Returns the candidate slots examined (the init share of sweep_scanned).
+template <class Body>
+std::uint64_t for_each_init_vertex(const partition::DistributedGraph& dg,
+                                   const InitInjection* inj, Body&& body) {
+  std::uint64_t scanned = 0;
+  for (machine_t m = 0; m < dg.num_machines(); ++m) {
+    const lvid_t n = dg.part(m).num_local();
+    if (inj && inj->has_frontier) {
+      const auto& list = inj->frontier[m];
+      scanned += list.size();
+      for (const lvid_t v : list) body(m, v);
+    } else {
+      scanned += n;
+      for (lvid_t v = 0; v < n; ++v) body(m, v);
+    }
+  }
+  return scanned;
+}
+
 /// Initialization placement for the lazy engines: vertex init messages go to
 /// every replica (replicated like a parallel-edge delivery, no delta), edge
 /// init messages are deposited at each local edge copy.
 template <VertexProgram P>
-void init_lazy_messages(const P& prog, const partition::DistributedGraph& dg,
-                        std::vector<PartState<P>>& states) {
-  for (machine_t m = 0; m < dg.num_machines(); ++m) {
+std::uint64_t init_lazy_messages(const P& prog,
+                                 const partition::DistributedGraph& dg,
+                                 std::vector<PartState<P>>& states,
+                                 const InitInjection* inj = nullptr) {
+  return for_each_init_vertex(dg, inj, [&](machine_t m, lvid_t v) {
     const partition::Part& part = dg.part(m);
     PartState<P>& s = states[m];
-    for (lvid_t v = 0; v < part.num_local(); ++v) {
-      const VertexInfo info = vertex_info<P>(part, v);
-      if (const auto im = prog.init_vertex_message(info)) {
-        deposit_msg(prog, s, v, *im);
-      }
-      if (part.offsets[v] == part.offsets[v + 1]) continue;
-      if (const auto em = prog.init_edge_message(info)) {
-        for (std::uint64_t e = part.offsets[v]; e < part.offsets[v + 1];
-             ++e) {
-          const lvid_t u = part.targets[e];
-          deposit_msg(prog, s, u, *em);
-          if (!part.parallel_mode[e] && part.num_replicas(u) > 1) {
-            deposit_delta(prog, s, u, *em);
-          }
+    const VertexInfo info = vertex_info<P>(part, v);
+    if (const auto im = prog.init_vertex_message(info)) {
+      deposit_msg(prog, s, v, *im);
+    }
+    if (part.offsets[v] == part.offsets[v + 1]) return;
+    if (const auto em = prog.init_edge_message(info)) {
+      for (std::uint64_t e = part.offsets[v]; e < part.offsets[v + 1]; ++e) {
+        const lvid_t u = part.targets[e];
+        deposit_msg(prog, s, u, *em);
+        if (!part.parallel_mode[e] && part.num_replicas(u) > 1) {
+          deposit_delta(prog, s, u, *em);
         }
       }
     }
-  }
+  });
 }
 
 /// Initialization placement for the eager engines (Sync/Async): vertex init
 /// messages go to the master replica only (the gather phase collects mirror
 /// partials there anyway), edge init messages to each local edge's target.
 template <VertexProgram P>
-void init_eager_messages(const P& prog, const partition::DistributedGraph& dg,
-                         std::vector<PartState<P>>& states) {
-  for (machine_t m = 0; m < dg.num_machines(); ++m) {
+std::uint64_t init_eager_messages(const P& prog,
+                                  const partition::DistributedGraph& dg,
+                                  std::vector<PartState<P>>& states,
+                                  const InitInjection* inj = nullptr) {
+  return for_each_init_vertex(dg, inj, [&](machine_t m, lvid_t v) {
     const partition::Part& part = dg.part(m);
     PartState<P>& s = states[m];
-    for (lvid_t v = 0; v < part.num_local(); ++v) {
-      const VertexInfo info = vertex_info<P>(part, v);
-      if (part.master[v] == m) {
-        if (const auto im = prog.init_vertex_message(info)) {
-          deposit_msg(prog, s, v, *im);
-        }
-      }
-      if (part.offsets[v] == part.offsets[v + 1]) continue;
-      if (const auto em = prog.init_edge_message(info)) {
-        for (std::uint64_t e = part.offsets[v]; e < part.offsets[v + 1];
-             ++e) {
-          deposit_msg(prog, s, part.targets[e], *em);
-        }
+    const VertexInfo info = vertex_info<P>(part, v);
+    if (part.master[v] == m) {
+      if (const auto im = prog.init_vertex_message(info)) {
+        deposit_msg(prog, s, v, *im);
       }
     }
-  }
+    if (part.offsets[v] == part.offsets[v + 1]) return;
+    if (const auto em = prog.init_edge_message(info)) {
+      for (std::uint64_t e = part.offsets[v]; e < part.offsets[v + 1]; ++e) {
+        deposit_msg(prog, s, part.targets[e], *em);
+      }
+    }
+  });
 }
 
 enum class SweepMode {
@@ -274,6 +297,7 @@ SweepCounters sweep_chunked(const P& prog, const partition::Part& part,
         const VertexInfo info = vertex_info<P>(part, v);
         ++cc.applies;
         ++cc.work;
+        s.applied[v] = 1;  // item-exclusive, like s.vdata[v]
         const auto payload = prog.apply(s.vdata[v], info, sc.accums[i]);
         if (!payload) return;
         for (std::uint64_t e = part.offsets[v]; e < part.offsets[v + 1];
@@ -309,6 +333,7 @@ SweepCounters sweep_gauss_seidel(const P& prog, const partition::Part& part,
     const VertexInfo info = vertex_info<P>(part, v);
     ++c.applies;
     ++c.work;
+    s.applied[v] = 1;
     const auto payload = prog.apply(s.vdata[v], info, m);
     if (!payload) return;
     for (std::uint64_t e = part.offsets[v]; e < part.offsets[v + 1]; ++e) {

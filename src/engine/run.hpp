@@ -4,7 +4,9 @@
 // assemble by hand.
 #pragma once
 
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "engine/async_engine.hpp"
 #include "engine/lazy_block_engine.hpp"
@@ -23,6 +25,21 @@ inline const char* to_string(EngineKind k) {
     case EngineKind::kLazyVertex: return "lazygraph-vertex";
   }
   return "?";
+}
+
+/// Inverse of to_string(EngineKind). Also accepts the CLI short aliases
+/// ("sync", "async", "lazy-block", "lazy-vertex"); throws
+/// std::invalid_argument on anything else.
+inline EngineKind engine_kind_from_string(const std::string& s) {
+  for (EngineKind k : {EngineKind::kSync, EngineKind::kAsync,
+                       EngineKind::kLazyBlock, EngineKind::kLazyVertex}) {
+    if (s == to_string(k)) return k;
+  }
+  if (s == "sync") return EngineKind::kSync;
+  if (s == "async") return EngineKind::kAsync;
+  if (s == "lazy-block") return EngineKind::kLazyBlock;
+  if (s == "lazy-vertex") return EngineKind::kLazyVertex;
+  throw std::invalid_argument("unknown engine: " + s);
 }
 
 /// Everything one engine run needs beyond the graph, program and cluster.
@@ -53,6 +70,18 @@ struct RunConfig {
   // --- lazy-vertex ---
   /// Local applies a spanning replica may perform between coherency events.
   std::uint32_t staleness = 4;
+
+  // --- pipeline-stage injection (plan layer; see src/plan/) ---
+  /// Global ids (ascending) restricting the engines' init-message placement
+  /// scan to this worklist. Results are bit-identical to a full scan whenever
+  /// the list covers every vertex the program would initialize — the pipeline
+  /// lowerer always passes the downstream stage's full scope, so this is
+  /// purely a sweep_scanned optimization. Not owned; may be null.
+  const std::vector<vid_t>* initial_frontier = nullptr;
+  /// Type-erased `const std::vector<typename P::VData>*` (indexed by global
+  /// id) seeding every replica's vdata instead of prog.init_data — the
+  /// carried-state warm start of pipeline refinement stages. Not owned.
+  const void* initial_state = nullptr;
 };
 
 /// Runs `prog` over `dg` on `cluster` with the engine cfg.kind selects.
@@ -70,27 +99,52 @@ RunResult<P> run(const RunConfig& cfg, const partition::DistributedGraph& dg,
   const double ev_ratio =
       cfg.graph_ev_ratio > 0.0 ? cfg.graph_ev_ratio : dg.user_ev_ratio();
 
+  // Lower the global-id injection into per-machine state. The frontier is
+  // translated by scanning each machine's replicas in ascending lvid order
+  // against a membership mask, so the per-machine lists reproduce the full
+  // init scan's visit order restricted to the frontier (the bit-identity
+  // requirement of for_each_init_vertex).
+  InitInjection inj;
+  inj.vdata = cfg.initial_state;
+  if (cfg.initial_frontier) {
+    inj.has_frontier = true;
+    inj.frontier.resize(dg.num_machines());
+    std::vector<std::uint8_t> member(dg.num_global_vertices(), 0);
+    for (const vid_t g : *cfg.initial_frontier) member[g] = 1;
+    for (machine_t m = 0; m < dg.num_machines(); ++m) {
+      const partition::Part& part = dg.part(m);
+      for (lvid_t v = 0; v < part.num_local(); ++v) {
+        if (member[part.gids[v]]) inj.frontier[m].push_back(v);
+      }
+    }
+  }
+  const InitInjection* injp =
+      (inj.has_frontier || inj.vdata) ? &inj : nullptr;
+
   RunResult<P> result;
   switch (cfg.kind) {
     case EngineKind::kSync:
-      result = SyncEngine<P>(dg, prog, cluster,
-                             {cfg.max_supersteps, cfg.threads_per_machine})
+      result = SyncEngine<P>(
+                   dg, prog, cluster,
+                   {cfg.max_supersteps, cfg.threads_per_machine, injp})
                    .run();
       break;
     case EngineKind::kAsync:
-      result = AsyncEngine<P>(dg, prog, cluster, {cfg.max_supersteps}).run();
+      result = AsyncEngine<P>(dg, prog, cluster, {cfg.max_supersteps, injp})
+                   .run();
       break;
     case EngineKind::kLazyBlock:
       result = LazyBlockAsyncEngine<P>(
                    dg, prog, cluster,
                    {cfg.max_supersteps, cfg.interval, cfg.comm_policy,
-                    cfg.threads_per_machine},
+                    cfg.threads_per_machine, injp},
                    ev_ratio)
                    .run();
       break;
     case EngineKind::kLazyVertex:
-      result = LazyVertexAsyncEngine<P>(dg, prog, cluster,
-                                        {cfg.max_supersteps, cfg.staleness})
+      result = LazyVertexAsyncEngine<P>(
+                   dg, prog, cluster,
+                   {cfg.max_supersteps, cfg.staleness, injp})
                    .run();
       break;
   }

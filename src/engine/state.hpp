@@ -45,6 +45,24 @@ struct SweepCounters {
   std::uint64_t scanned = 0;
 };
 
+/// Stage-boundary injection a pipeline hands an engine run: restricts the
+/// init-message placement scan to a worklist and/or seeds vdata from an
+/// upstream stage's converged table. Built by engine::run from RunConfig's
+/// initial_frontier / initial_state (the engines never see global ids).
+struct InitInjection {
+  /// Per-machine ascending lvid lists; when has_frontier, init placement
+  /// visits exactly these replicas (in list order) instead of scanning every
+  /// local vertex. The deposits a restricted pass makes are a subsequence of
+  /// the full scan's in the same order, so results are bit-identical whenever
+  /// the frontier covers every vertex the program would initialize.
+  std::vector<std::vector<lvid_t>> frontier;
+  bool has_frontier = false;
+  /// Type-erased `const std::vector<typename P::VData>*` indexed by global
+  /// vertex id; when set, make_states seeds every replica from this table
+  /// instead of calling prog.init_data.
+  const void* vdata = nullptr;
+};
+
 /// Pooled scratch for the sweep machinery, one instance per PartState so
 /// steady-state supersteps allocate nothing (every vector keeps its
 /// high-water capacity across sweeps).
@@ -78,6 +96,9 @@ struct PartState {
   std::vector<std::uint8_t> has_delta;
   std::vector<typename P::Scatter> payload;
   std::vector<std::uint8_t> has_payload;
+  /// Raised once the replica's apply has run at least once this engine run;
+  /// collect_touched folds these into the RunResult's StageResult handoff.
+  std::vector<std::uint8_t> applied;
   /// Worklists over has_msg / has_delta (see frontier.hpp for the invariant:
   /// every raised flag is reachable through its frontier).
   Frontier frontier;
@@ -92,6 +113,7 @@ struct PartState {
     has_delta.assign(n, 0);
     payload.resize(n);
     has_payload.assign(n, 0);
+    applied.assign(n, 0);
     frontier.reset(n);
     delta_frontier.reset(n);
   }
@@ -159,16 +181,27 @@ bool deposit_delta(const P& prog, PartState<P>& s, lvid_t v,
   return fresh;
 }
 
-/// Initializes vdata on every replica.
+/// Initializes vdata on every replica: from the injection's per-global-vertex
+/// table when one is attached, from prog.init_data otherwise.
 template <VertexProgram P>
 std::vector<PartState<P>> make_states(const partition::DistributedGraph& dg,
-                                      const P& prog) {
+                                      const P& prog,
+                                      const InitInjection* inj = nullptr) {
+  const auto* seed =
+      inj && inj->vdata
+          ? static_cast<const std::vector<typename P::VData>*>(inj->vdata)
+          : nullptr;
+  if (seed) {
+    require(seed->size() == dg.num_global_vertices(),
+            "make_states: initial_state table size != global vertex count");
+  }
   std::vector<PartState<P>> states(dg.num_machines());
   for (machine_t m = 0; m < dg.num_machines(); ++m) {
     const partition::Part& part = dg.part(m);
     states[m].resize(part.num_local());
     for (lvid_t v = 0; v < part.num_local(); ++v) {
-      states[m].vdata[v] = prog.init_data(vertex_info<P>(part, v));
+      states[m].vdata[v] = seed ? (*seed)[part.gids[v]]
+                                : prog.init_data(vertex_info<P>(part, v));
     }
   }
   return states;
@@ -190,6 +223,33 @@ std::vector<typename P::VData> collect_master_data(
   return out;
 }
 
+/// Cross-stage handoff summary every engine fills at termination, consumed
+/// by the plan layer to seed and scope downstream pipeline stages.
+struct StageResult {
+  /// Global ids (ascending) whose apply ran at least once on any replica —
+  /// e.g. the reached set of a traversal, or every vertex a sweep updated.
+  std::vector<vid_t> touched;
+};
+
+/// Folds the per-replica applied flags into the ascending global touched
+/// list (a vertex counts if ANY of its replicas applied).
+template <VertexProgram P>
+StageResult collect_touched(const partition::DistributedGraph& dg,
+                            const std::vector<PartState<P>>& states) {
+  std::vector<std::uint8_t> hit(dg.num_global_vertices(), 0);
+  for (machine_t m = 0; m < dg.num_machines(); ++m) {
+    const partition::Part& part = dg.part(m);
+    for (lvid_t v = 0; v < part.num_local(); ++v) {
+      if (states[m].applied[v]) hit[part.gids[v]] = 1;
+    }
+  }
+  StageResult out;
+  for (vid_t g = 0; g < dg.num_global_vertices(); ++g) {
+    if (hit[g]) out.touched.push_back(g);
+  }
+  return out;
+}
+
 /// Result of one engine run. The field set is identical across all four
 /// engines, so harnesses never special-case engine kinds.
 template <VertexProgram P>
@@ -197,6 +257,8 @@ struct RunResult {
   std::vector<typename P::VData> data;  // per global vertex
   bool converged = false;
   std::uint64_t supersteps = 0;
+  /// Stage handoff for pipeline composition (see StageResult).
+  StageResult handoff;
   /// Snapshot of the cluster's metrics at run end (the run may share the
   /// cluster with later runs; this freezes its own totals).
   sim::SimMetrics metrics = {};
@@ -204,9 +266,14 @@ struct RunResult {
   const sim::Tracer* trace = nullptr;
 };
 
-/// Stamps the unified trailing fields every engine fills the same way.
+/// Stamps the unified trailing fields every engine fills the same way:
+/// master data, the touched-vertex stage handoff, metrics, and the tracer.
 template <VertexProgram P>
-void finalize_result(RunResult<P>& result, const sim::Cluster& cluster) {
+void finalize_result(RunResult<P>& result, const sim::Cluster& cluster,
+                     const partition::DistributedGraph& dg,
+                     const std::vector<PartState<P>>& states) {
+  result.data = collect_master_data(dg, states);
+  result.handoff = collect_touched(dg, states);
   result.metrics = cluster.metrics();
   result.trace = cluster.tracer();
 }

@@ -35,6 +35,8 @@ struct SyncOptions {
   /// Intra-machine thread budget for the scatter sweep (results are
   /// bit-identical across budgets; this is purely an execution knob here).
   std::uint32_t threads_per_machine = 1;
+  /// Optional pipeline-stage injection (see InitInjection; not owned).
+  const InitInjection* init = nullptr;
 };
 
 template <VertexProgram P>
@@ -52,8 +54,9 @@ class SyncEngine {
 
   RunResult<P> run() {
     const machine_t p = dg_.num_machines();
-    states_ = make_states(dg_, prog_);
-    init_eager_messages(prog_, dg_, states_);
+    states_ = make_states(dg_, prog_, opts_.init);
+    cluster_.metrics().sweep_scanned +=
+        init_eager_messages(prog_, dg_, states_, opts_.init);
     const SweepExec exec{&cluster_, opts_.threads_per_machine};
 
     RunResult<P> result;
@@ -142,6 +145,7 @@ class SyncEngine {
           s.has_msg[v] = 0;
           ++applies[m];
           const VertexInfo info = vertex_info<P>(part, v);
+          s.applied[v] = 1;
           const auto payload = prog_.apply(s.vdata[v], info, acc);
           if (payload) {
             s.payload[v] = *payload;
@@ -225,8 +229,7 @@ class SyncEngine {
       }
     }
 
-    result.data = collect_master_data(dg_, states_);
-    finalize_result(result, cluster_);
+    finalize_result(result, cluster_, dg_, states_);
     return result;
   }
 

@@ -31,6 +31,10 @@
 #include "partition/dgraph.hpp"
 #include "partition/edge_splitter.hpp"
 #include "partition/partitioner.hpp"
+#include "plan/executor.hpp"
+#include "plan/pipeline.hpp"
+#include "plan/programs.hpp"
+#include "plan/scope.hpp"
 #include "sim/cluster.hpp"
 #include "sim/trace.hpp"
 #include "util/options.hpp"

@@ -1,0 +1,210 @@
+// Program adaptors the plan lowerer wraps around the src/algos vertex
+// programs. All three are themselves VertexPrograms, so the engines run them
+// unchanged:
+//
+//   Scoped<P>   restricts P to a VertexScope mask: out-of-scope vertices are
+//               never initialized, silently consume any message in Apply,
+//               and therefore never scatter — messages die at the scope
+//               boundary, which makes a scoped run equal to running P on the
+//               induced subgraph *except* that VertexInfo degrees remain
+//               full-graph (documented contract: scoped pagerank leaks rank
+//               mass to masked out-neighbours — "community-scoped rank", not
+//               induced-subgraph pagerank; scoped kcore counts masked
+//               neighbours as permanently present).
+//
+//   Warm<P>     a refinement stage over carried state: edge init is
+//               suppressed (the injected initial_state is already converged
+//               under the previous stage's knobs) and every in-scope vertex
+//               receives a zero-valued activation so Apply re-tests its
+//               pending residual against the new tolerance. Used for
+//               pagerank(tol_a) |> pagerank(tol_b).
+//
+//   Fused<A,B>  runs two independent programs in one engine run: VData is
+//               the pair of lane states, Msg/Scatter are pairs of optionals,
+//               and every callback forwards lane-wise. Lanes never interact,
+//               so under the sync engine each lane's message/fold sequence
+//               is the exact subsequence the solo run would produce —
+//               bit-identical lane results. Under the lazy engines only
+//               exact (schedule-invariant) lane pairs are legal; the
+//               executor's fusion whitelist enforces this.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "engine/program.hpp"
+
+namespace lazygraph::plan {
+
+/// Shared scope mask handle (null = full scope, no gating).
+using ScopeMask = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+template <engine::VertexProgram P>
+struct Scoped {
+  using VData = typename P::VData;
+  using Msg = typename P::Msg;
+  using Scatter = typename P::Scatter;
+  static constexpr bool kIdempotent = P::kIdempotent;
+  static constexpr bool kHasInverse = P::kHasInverse;
+
+  P inner;
+  ScopeMask mask;  // null = full scope
+
+  bool in_scope(vid_t gid) const { return !mask || (*mask)[gid]; }
+
+  VData init_data(const engine::VertexInfo& info) const {
+    return inner.init_data(info);
+  }
+  std::optional<Msg> init_vertex_message(
+      const engine::VertexInfo& info) const {
+    if (!in_scope(info.gid)) return std::nullopt;
+    return inner.init_vertex_message(info);
+  }
+  std::optional<Msg> init_edge_message(const engine::VertexInfo& src) const {
+    if (!in_scope(src.gid)) return std::nullopt;
+    return inner.init_edge_message(src);
+  }
+  Msg sum(Msg a, Msg b) const { return inner.sum(a, b); }
+  Msg inverse(Msg total, Msg own) const
+    requires P::kHasInverse
+  {
+    return inner.inverse(total, own);
+  }
+  std::optional<Scatter> apply(VData& v, const engine::VertexInfo& info,
+                               Msg accum) const {
+    if (!in_scope(info.gid)) return std::nullopt;  // consume silently
+    return inner.apply(v, info, accum);
+  }
+  Msg scatter(const Scatter& s, const engine::VertexInfo& src,
+              float edge_weight) const {
+    return inner.scatter(s, src, edge_weight);
+  }
+};
+
+template <engine::VertexProgram P>
+struct Warm {
+  using VData = typename P::VData;
+  using Msg = typename P::Msg;
+  using Scatter = typename P::Scatter;
+  static constexpr bool kIdempotent = P::kIdempotent;
+  static constexpr bool kHasInverse = P::kHasInverse;
+
+  P inner;
+  ScopeMask mask;  // null = full scope
+
+  bool in_scope(vid_t gid) const { return !mask || (*mask)[gid]; }
+
+  /// Unused when RunConfig::initial_state is injected (the lowerer always
+  /// pairs Warm with it), but kept meaningful: cold state of the inner
+  /// program.
+  VData init_data(const engine::VertexInfo& info) const {
+    return inner.init_data(info);
+  }
+  /// Zero-valued activation: Apply adds nothing but re-tests the carried
+  /// pending residual against the (new) tolerance and releases it if above.
+  std::optional<Msg> init_vertex_message(
+      const engine::VertexInfo& info) const {
+    if (!in_scope(info.gid)) return std::nullopt;
+    return Msg{};
+  }
+  /// The carried state already accounts for all edge contributions under the
+  /// previous stage's knobs; re-announcing them would double-count.
+  std::optional<Msg> init_edge_message(const engine::VertexInfo&) const {
+    return std::nullopt;
+  }
+  Msg sum(Msg a, Msg b) const { return inner.sum(a, b); }
+  Msg inverse(Msg total, Msg own) const
+    requires P::kHasInverse
+  {
+    return inner.inverse(total, own);
+  }
+  std::optional<Scatter> apply(VData& v, const engine::VertexInfo& info,
+                               Msg accum) const {
+    if (!in_scope(info.gid)) return std::nullopt;
+    return inner.apply(v, info, accum);
+  }
+  Msg scatter(const Scatter& s, const engine::VertexInfo& src,
+              float edge_weight) const {
+    return inner.scatter(s, src, edge_weight);
+  }
+};
+
+template <engine::VertexProgram A, engine::VertexProgram B>
+struct Fused {
+  struct VData {
+    typename A::VData a;
+    typename B::VData b;
+  };
+  struct Msg {
+    std::optional<typename A::Msg> a;
+    std::optional<typename B::Msg> b;
+  };
+  struct Scatter {
+    std::optional<typename A::Scatter> a;
+    std::optional<typename B::Scatter> b;
+  };
+  static constexpr bool kIdempotent = A::kIdempotent && B::kIdempotent;
+  // Lane-wise: an idempotent lane's "inverse" is the identity (matching what
+  // without_own does for that lane solo); a non-idempotent lane forwards its
+  // real inverse. Declaring kHasInverse only when not fully idempotent keeps
+  // the solo fast path for min/min pairs.
+  static constexpr bool kHasInverse = !kIdempotent;
+
+  A pa;
+  B pb;
+
+  VData init_data(const engine::VertexInfo& info) const {
+    return {pa.init_data(info), pb.init_data(info)};
+  }
+  std::optional<Msg> init_vertex_message(
+      const engine::VertexInfo& info) const {
+    Msg out{pa.init_vertex_message(info), pb.init_vertex_message(info)};
+    if (!out.a && !out.b) return std::nullopt;
+    return out;
+  }
+  std::optional<Msg> init_edge_message(const engine::VertexInfo& src) const {
+    Msg out{pa.init_edge_message(src), pb.init_edge_message(src)};
+    if (!out.a && !out.b) return std::nullopt;
+    return out;
+  }
+  Msg sum(Msg x, const Msg& y) const {
+    if (y.a) x.a = x.a ? pa.sum(*x.a, *y.a) : *y.a;
+    if (y.b) x.b = x.b ? pb.sum(*x.b, *y.b) : *y.b;
+    return x;
+  }
+  /// A replica's own delta may engage only one lane; the other lane of the
+  /// total passes through untouched — exactly what that lane's solo exchange
+  /// would deliver to a replica that contributed nothing.
+  Msg inverse(Msg total, const Msg& own) const {
+    if (own.a && total.a) {
+      if constexpr (A::kHasInverse) {
+        total.a = pa.inverse(*total.a, *own.a);
+      }  // idempotent lane: keep the total (solo without_own does the same)
+    }
+    if (own.b && total.b) {
+      if constexpr (B::kHasInverse) {
+        total.b = pb.inverse(*total.b, *own.b);
+      }
+    }
+    return total;
+  }
+  std::optional<Scatter> apply(VData& v, const engine::VertexInfo& info,
+                               const Msg& m) const {
+    Scatter out;
+    if (m.a) out.a = pa.apply(v.a, info, *m.a);
+    if (m.b) out.b = pb.apply(v.b, info, *m.b);
+    if (!out.a && !out.b) return std::nullopt;
+    return out;
+  }
+  Msg scatter(const Scatter& s, const engine::VertexInfo& src,
+              float edge_weight) const {
+    Msg out;
+    if (s.a) out.a = pa.scatter(*s.a, src, edge_weight);
+    if (s.b) out.b = pb.scatter(*s.b, src, edge_weight);
+    return out;
+  }
+};
+
+}  // namespace lazygraph::plan

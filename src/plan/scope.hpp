@@ -1,0 +1,49 @@
+// A VertexScope is the set of global vertex ids a pipeline stage operates
+// on. Stage handoffs shrink it (k-core keeps survivors, cc(seed) keeps the
+// seed's component, traversals keep the reached set); the executor turns it
+// into (a) the Scoped<P> program mask and (b) the carried initial frontier
+// injected into the next engine run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace lazygraph::plan {
+
+struct VertexScope {
+  /// One byte per global vertex; nonzero = in scope.
+  std::vector<std::uint8_t> mask;
+  /// Ascending global ids with mask set (the carried-frontier worklist).
+  std::vector<vid_t> members;
+
+  static std::shared_ptr<const VertexScope> full(vid_t num_vertices) {
+    auto s = std::make_shared<VertexScope>();
+    s->mask.assign(num_vertices, 1);
+    s->members.resize(num_vertices);
+    for (vid_t v = 0; v < num_vertices; ++v) s->members[v] = v;
+    return s;
+  }
+
+  bool is_full() const { return members.size() == mask.size(); }
+  bool contains(vid_t gid) const { return mask[gid] != 0; }
+  std::uint64_t size() const { return members.size(); }
+
+  /// The subset of `this` whose gids satisfy `keep` (rebuilds both views).
+  template <class Keep>
+  std::shared_ptr<const VertexScope> restrict(Keep&& keep) const {
+    auto s = std::make_shared<VertexScope>();
+    s->mask.assign(mask.size(), 0);
+    for (const vid_t g : members) {
+      if (keep(g)) {
+        s->mask[g] = 1;
+        s->members.push_back(g);
+      }
+    }
+    return s;
+  }
+};
+
+}  // namespace lazygraph::plan

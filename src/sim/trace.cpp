@@ -33,6 +33,8 @@ constexpr struct {
     {SpanKind::kIngest, "ingest"},
     {SpanKind::kPartition, "partition"},
     {SpanKind::kBuild, "build"},
+    {SpanKind::kPlanLower, "plan_lower"},
+    {SpanKind::kPlanCarry, "plan_carry"},
 };
 
 std::string mode_name(int mode) {

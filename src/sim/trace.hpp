@@ -43,6 +43,12 @@ enum class SpanKind : std::uint8_t {
   kIngest,             // edge-list / binary graph loading + generation
   kPartition,          // vertex-cut edge assignment
   kBuild,              // DistributedGraph CSR construction
+  // Plan-lowering kinds (also SetupSpan-only): one span per lowering
+  // decision the plan executor makes, so every cache hit, carried frontier,
+  // and fusion is visible in the trace.
+  kPlanLower,          // one lowered engine-run group (items = fused stages,
+                       // cache_hit = stage-outcome reused without running)
+  kPlanCarry,          // carried-frontier injection (items = frontier size)
 };
 
 const char* to_string(SpanKind k);

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <vector>
 
@@ -18,6 +19,8 @@
 #include "partition/artifact_cache.hpp"
 #include "partition/dgraph.hpp"
 #include "partition/edge_splitter.hpp"
+#include "plan/executor.hpp"
+#include "plan/pipeline.hpp"
 #include "sim/cluster.hpp"
 #include "util/rng.hpp"
 
@@ -318,9 +321,242 @@ bool fp_close(double a, double b, double slack) {
   return std::abs(a - b) <= slack + 1e-9 * std::max(std::abs(a), std::abs(b));
 }
 
+/// First pipeline stage runs at full scope, so its result must match the
+/// single-machine reference fixed point like the single-program oracle
+/// demands (exactly for the semilattice / integer programs, within the
+/// threshold-derived bound for the floating-point ones). CC and k-core run
+/// on the executor's symmetrized view, so their references do too.
+std::optional<std::string> first_stage_vs_reference(
+    const plan::StageSpec& st, const Graph& g,
+    const plan::PipelineResult& res) {
+  const auto exact = [&](const auto& ref, auto get,
+                         const char* what) -> std::optional<std::string> {
+    for (std::size_t v = 0; v < ref.size(); ++v) {
+      const auto got = get(v);
+      if (got == ref[v]) continue;
+      std::ostringstream os;
+      os << "stage 0 vertex " << v << " " << what << ": plan " << got
+         << " != reference " << ref[v];
+      return os.str();
+    }
+    return std::nullopt;
+  };
+  const auto close = [&](const std::vector<double>& ref, auto get,
+                         const char* what,
+                         double bound) -> std::optional<std::string> {
+    for (std::size_t v = 0; v < ref.size(); ++v) {
+      const double got = get(v);
+      if (std::abs(got - ref[v]) <= bound) continue;
+      std::ostringstream os;
+      os.precision(17);
+      os << "stage 0 vertex " << v << " " << what << ": plan " << got
+         << " vs reference " << ref[v] << " differ by more than " << bound;
+      return os.str();
+    }
+    return std::nullopt;
+  };
+  switch (st.algo) {
+    case plan::AlgoKind::kSssp: {
+      const auto& d = res.data_as<algos::SSSP>(0);
+      return exact(reference::sssp(g, st.source),
+                   [&](std::size_t v) { return d[v].dist; }, "dist");
+    }
+    case plan::AlgoKind::kBfs: {
+      const auto& d = res.data_as<algos::BFS>(0);
+      return exact(reference::bfs(g, st.source),
+                   [&](std::size_t v) { return d[v].depth; }, "depth");
+    }
+    case plan::AlgoKind::kCc: {
+      const auto& d = res.data_as<algos::ConnectedComponents>(0);
+      return exact(reference::connected_components(g.symmetrized()),
+                   [&](std::size_t v) { return d[v].label; }, "label");
+    }
+    case plan::AlgoKind::kKcore: {
+      const auto& d = res.data_as<algos::KCore>(0);
+      return exact(reference::kcore(g.symmetrized(), st.k),
+                   [&](std::size_t v) { return !d[v].deleted; },
+                   "k-core membership");
+    }
+    case plan::AlgoKind::kPagerank: {
+      const auto& d = res.data_as<algos::PageRankDelta>(0);
+      return close(reference::pagerank(g, 1e-12, 20'000),
+                   [&](std::size_t v) { return d[v].rank; }, "rank",
+                   300.0 * st.tol);
+    }
+    case plan::AlgoKind::kWidest: {
+      const auto& d = res.data_as<algos::WidestPath>(0);
+      return exact(reference::widest_path(g, st.source),
+                   [&](std::size_t v) { return d[v].capacity; }, "capacity");
+    }
+    case plan::AlgoKind::kDiffusion: {
+      const auto& d = res.data_as<algos::LinearDiffusion>(0);
+      std::vector<double> bias(g.num_vertices(), 0.0);
+      if (!bias.empty()) bias[st.source] += 1.0;
+      return close(reference::linear_diffusion(g, bias, st.alpha, 1e-13,
+                                               50'000),
+                   [&](std::size_t v) { return d[v].value; }, "value",
+                   300.0 * st.tol / (1.0 - st.alpha));
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
+Verdict check_pipeline_scenario(const Scenario& s, const OracleOptions& opts) {
+  try {
+    if (s.machines == 0 || s.machines > 64) {
+      return {false, "scenario: machine count out of range"};
+    }
+    const plan::Pipeline pipe = plan::Pipeline::parse(s.pipeline);
+    if (pipe.empty()) return {false, "scenario: empty pipeline"};
+    for (const plan::StageSpec& st : pipe.stages()) {
+      // The shrinker may delete vertices out from under a stage source;
+      // treat that as vacuously passing so such shrink steps are rejected
+      // (the shrinker only keeps steps that still fail).
+      if (st.has_source && st.source >= s.num_vertices) return {};
+    }
+    const Graph g(s.num_vertices, s.edges);  // executor derives its views
+    const partition::PartitionOptions popts{.kind = s.cut,
+                                            .seed = s.partition_seed};
+    plan::LowerOptions base;
+    base.default_engine = engine::engine_kind_from_string(s.plan_engine);
+    base.threads_per_machine = s.threads_per_machine;
+    base.max_supersteps = opts.max_supersteps;
+    base.staleness = s.staleness;
+    base.interval.policy = s.interval_policy;
+    base.comm_policy = s.comm_policy;
+    if (s.split) {
+      partition::EdgeSplitterOptions eso;
+      eso.t_extra = 0.001;
+      base.split = eso;
+    }
+
+    // Composed lowering: everything on, fresh private cache so the
+    // redundancy accounting below sees only this lowering's artifacts.
+    partition::ArtifactCache cache;
+    sim::Tracer tracer;
+    plan::Executor composed(g, s.machines, popts, &cache, 1);
+    plan::LowerOptions copts = base;
+    copts.tracer = &tracer;
+    const plan::PipelineResult cres = composed.run(pipe, copts);
+    if (!cres.converged) {
+      return {false, "pipeline: composed lowering did not converge within " +
+                         std::to_string(opts.max_supersteps) + " supersteps"};
+    }
+
+    // Zero redundant artifacts. Assignments are keyed by graph content, so
+    // a symmetrized view of an already-symmetric graph shares its partition;
+    // builds additionally key on the split plan, which only applies to lazy
+    // stages (eager engines always run unsplit).
+    std::set<std::uint64_t> want_parts, want_builds;
+    const std::uint64_t plain_hash = g.content_hash();
+    const std::uint64_t sym_hash = g.symmetrized().content_hash();
+    for (const plan::StageSpec& st : pipe.stages()) {
+      const engine::EngineKind k =
+          st.engine.empty() ? base.default_engine
+                            : engine::engine_kind_from_string(st.engine);
+      const bool lazy = k == engine::EngineKind::kLazyBlock ||
+                        k == engine::EngineKind::kLazyVertex;
+      const std::uint64_t h =
+          plan::needs_symmetrized(st.algo) ? sym_hash : plain_hash;
+      want_parts.insert(h);
+      want_builds.insert(2 * h + ((s.split && lazy) ? 1 : 0));
+    }
+    if (cres.partitions_computed != want_parts.size()) {
+      return {false, "pipeline: composed lowering computed " +
+                         std::to_string(cres.partitions_computed) +
+                         " partitions for " +
+                         std::to_string(want_parts.size()) +
+                         " distinct views"};
+    }
+    if (cres.builds_computed != want_builds.size()) {
+      return {false, "pipeline: composed lowering computed " +
+                         std::to_string(cres.builds_computed) +
+                         " builds for " + std::to_string(want_builds.size()) +
+                         " distinct view/split configurations"};
+    }
+    if (opts.check_trace) {
+      std::uint64_t lower_spans = 0, carry_spans = 0, carried_stages = 0;
+      for (const sim::SetupSpan& sp : tracer.setup_spans()) {
+        if (sp.kind == sim::SpanKind::kPlanLower) ++lower_spans;
+        if (sp.kind == sim::SpanKind::kPlanCarry) ++carry_spans;
+      }
+      for (const plan::StageReport& r : cres.stages) {
+        carried_stages += r.carried_frontier > 0 ? 1 : 0;
+      }
+      if (lower_spans != cres.engine_runs) {
+        return {false, "pipeline: trace has " + std::to_string(lower_spans) +
+                           " plan_lower spans for " +
+                           std::to_string(cres.engine_runs) + " engine runs"};
+      }
+      if (carry_spans != carried_stages) {
+        return {false, "pipeline: trace has " + std::to_string(carry_spans) +
+                           " plan_carry spans for " +
+                           std::to_string(carried_stages) +
+                           " carried frontiers"};
+      }
+    }
+
+    // Sequential reference: every reuse mechanism off, cold builds.
+    plan::Executor seq(g, s.machines, popts, nullptr, 1);
+    const plan::PipelineResult sres =
+        seq.run(pipe, plan::sequential_baseline(base));
+    if (!sres.converged) {
+      return {false,
+              "pipeline: sequential reference lowering did not converge"};
+    }
+    for (std::size_t i = 0; i < pipe.size(); ++i) {
+      if (cres.outcomes[i].digest != sres.outcomes[i].digest) {
+        return {false, "pipeline stage " + std::to_string(i) + " (" +
+                           pipe.stages()[i].to_string() +
+                           "): composed result not bit-identical to the "
+                           "sequential reference"};
+      }
+    }
+
+    // Ground the chain: stage 0 ran at full scope, so it must match the
+    // single-machine reference fixed point.
+    if (auto f = first_stage_vs_reference(pipe.stages()[0], g, cres)) {
+      return {false, "pipeline: " + *f};
+    }
+
+    if (opts.check_determinism) {
+      // Fresh executor + fresh cache: the whole lowering must reproduce
+      // bit-for-bit.
+      partition::ArtifactCache cache2;
+      plan::Executor again(g, s.machines, popts, &cache2, 1);
+      const plan::PipelineResult ares = again.run(pipe, base);
+      for (std::size_t i = 0; i < pipe.size(); ++i) {
+        if (ares.outcomes[i].digest != cres.outcomes[i].digest ||
+            ares.outcomes[i].supersteps != cres.outcomes[i].supersteps) {
+          return {false, "pipeline stage " + std::to_string(i) +
+                             ": repeated lowering not bit-identical"};
+        }
+      }
+      // Same executor again: the Merkle stage memo must replay everything.
+      const plan::PipelineResult mres = composed.run(pipe, base);
+      if (mres.engine_runs != 0) {
+        return {false, "pipeline: memoized re-lowering ran " +
+                           std::to_string(mres.engine_runs) +
+                           " engines (expected 0)"};
+      }
+      for (std::size_t i = 0; i < pipe.size(); ++i) {
+        if (!mres.stages[i].reused ||
+            mres.outcomes[i].digest != cres.outcomes[i].digest) {
+          return {false, "pipeline stage " + std::to_string(i) +
+                             ": memo replay did not reproduce the outcome"};
+        }
+      }
+    }
+    return {};
+  } catch (const std::exception& e) {
+    return {false, std::string("exception: ") + e.what()};
+  }
+}
+
 Verdict check_scenario(const Scenario& s, const OracleOptions& opts) {
+  if (s.has_pipeline()) return check_pipeline_scenario(s, opts);
   try {
     if (s.needs_source() &&
         (s.num_vertices == 0 || s.source >= s.num_vertices)) {

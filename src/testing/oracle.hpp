@@ -48,4 +48,20 @@ struct Verdict {
 
 Verdict check_scenario(const Scenario& s, const OracleOptions& opts = {});
 
+/// The plan-layer oracle, used by check_scenario whenever
+/// Scenario::has_pipeline(). Lowers the recorded pipeline twice — composed
+/// (fusion, carried frontiers, artifact cache, stage memo all on) and as the
+/// sequential reference (everything off) — and requires
+///
+///   1. both lowerings converge and every stage's canonical result digest is
+///      bit-identical between them;
+///   2. the composed lowering computes zero redundant artifacts: exactly one
+///      partition and one build per distinct graph view the pipeline needs;
+///   3. the first (full-scope) stage matches the single-machine reference
+///      fixed point, grounding the chain semantically;
+///   4. re-lowering is deterministic (fresh executor: bit-identical digests)
+///      and the stage memo replays a repeated lowering with zero engine runs.
+Verdict check_pipeline_scenario(const Scenario& s,
+                                const OracleOptions& opts = {});
+
 }  // namespace lazygraph::testing

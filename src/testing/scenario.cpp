@@ -7,7 +7,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "engine/run.hpp"
 #include "graph/generators.hpp"
+#include "plan/pipeline.hpp"
 #include "util/rng.hpp"
 
 namespace lazygraph::testing {
@@ -100,13 +102,16 @@ std::string Scenario::summary() const {
      << " interval=" << engine::to_string(interval_policy)
      << " comm=" << engine::to_string(comm_policy)
      << " tpm=" << threads_per_machine;
+  if (has_pipeline()) {
+    os << " pipeline=" << pipeline << " plan_engine=" << plan_engine;
+  }
   return os.str();
 }
 
 void Scenario::to_text(std::ostream& os) const {
   // %.17g round-trips every finite double exactly.
   char buf[64];
-  os << "lazygraph-scenario v2\n";
+  os << "lazygraph-scenario v3\n";
   os << "seed " << seed << "\n";
   os << "vertices " << num_vertices << "\n";
   os << "machines " << machines << "\n";
@@ -124,6 +129,11 @@ void Scenario::to_text(std::ostream& os) const {
   os << "threads_per_machine " << threads_per_machine << "\n";
   os << "interval " << engine::to_string(interval_policy) << "\n";
   os << "comm " << engine::to_string(comm_policy) << "\n";
+  // Pipeline text is one space-free token by construction (the plan grammar
+  // rejects whitespace), so the keyed line format stays parseable. "-" is
+  // the explicit "no pipeline" sentinel.
+  os << "pipeline " << (pipeline.empty() ? "-" : pipeline) << "\n";
+  os << "plan_engine " << plan_engine << "\n";
   os << "edges " << edges.size() << "\n";
   for (const Edge& e : edges) {
     std::snprintf(buf, sizeof buf, "%.9g", static_cast<double>(e.weight));
@@ -143,15 +153,18 @@ Scenario Scenario::from_text(std::istream& is) {
   };
   std::string line;
   if (!std::getline(is, line)) fail("missing scenario header");
-  // v1 dumps predate the threads_per_machine key; they parse with its
-  // default (1), so old corpus files stay replayable bit-for-bit.
+  // v1 dumps predate the threads_per_machine key and v2 dumps predate the
+  // pipeline keys; both parse with the defaults (tpm=1, no pipeline), so old
+  // corpus files stay replayable bit-for-bit.
   int version = 0;
   if (line == "lazygraph-scenario v1") {
     version = 1;
   } else if (line == "lazygraph-scenario v2") {
     version = 2;
+  } else if (line == "lazygraph-scenario v3") {
+    version = 3;
   } else {
-    fail("missing 'lazygraph-scenario v1|v2' header");
+    fail("missing 'lazygraph-scenario v1|v2|v3' header");
   }
   Scenario s;
   auto expect_key = [&](const std::string& key) -> std::string {
@@ -177,6 +190,14 @@ Scenario Scenario::from_text(std::istream& is) {
   }
   s.interval_policy = interval_from_string(expect_key("interval"));
   s.comm_policy = comm_from_string(expect_key("comm"));
+  if (version >= 3) {
+    const std::string p = expect_key("pipeline");
+    if (p != "-") {
+      s.pipeline = plan::Pipeline::parse(p).to_string();  // validates
+    }
+    s.plan_engine = expect_key("plan_engine");
+    engine::engine_kind_from_string(s.plan_engine);  // validates; throws
+  }
   const std::uint64_t num_edges = std::stoull(expect_key("edges"));
   s.edges.reserve(num_edges);
   for (std::uint64_t i = 0; i < num_edges; ++i) {
@@ -321,6 +342,33 @@ Scenario make_scenario(std::uint64_t corpus_seed, std::uint64_t index) {
   // the sweep chunk size, exercising ragged chunk/range splits.
   constexpr std::uint32_t kTpm[] = {1, 2, 7};
   s.threads_per_machine = kTpm[rng.below(3)];
+
+  // --- pipeline (plan layer) ---
+  // Drawn after tpm for the same reason tpm is drawn last: earlier fields of
+  // pre-existing corpus seeds are unchanged by the pipeline's introduction.
+  // About a quarter of scenarios exercise the record-then-lower path; the
+  // oracle then checks the composed lowering against the sequential
+  // reference lowering instead of the single-program differential matrix.
+  if (rng.below(4) == 0) {
+    plan::Pipeline p;
+    const vid_t src = s.source;  // in range whenever num_vertices > 0
+    // Templates 0-2 are sourceless so the empty graph can draw them too.
+    switch (s.num_vertices == 0 ? rng.below(3) : rng.below(8)) {
+      case 0: p.kcore(s.kcore_k).cc(); break;
+      case 1: p.cc().pagerank(s.tol); break;
+      case 2: p.cc().kcore(s.kcore_k); break;
+      case 3: p.cc(src).pagerank(s.tol); break;
+      case 4: p.bfs(src).cc(); break;
+      case 5: p.pagerank(s.tol).pagerank(s.tol / 10.0); break;  // warm refine
+      case 6: p.pagerank(s.tol).sssp(src); break;
+      default: p.kcore(s.kcore_k).cc().pagerank(s.tol); break;
+    }
+    s.pipeline = p.to_string();
+    using engine::EngineKind;
+    constexpr EngineKind kPlanEngines[] = {
+        EngineKind::kSync, EngineKind::kLazyBlock, EngineKind::kLazyVertex};
+    s.plan_engine = engine::to_string(kPlanEngines[rng.below(3)]);
+  }
   return s;
 }
 

@@ -71,6 +71,18 @@ struct Scenario {
   /// chunked deterministic merge path when > 1.
   std::uint32_t threads_per_machine = 1;
 
+  // --- pipeline (plan layer) ---
+  /// When non-empty, the oracle checks this recorded pipeline (stored as
+  /// plan::Pipeline grammar text, one space-free token) instead of the
+  /// single `program`: the composed lowering must be bit-identical to the
+  /// sequential reference lowering, with zero redundant partitions/builds.
+  std::string pipeline;
+  /// Default engine of the lowering (engine::to_string name; stages may
+  /// still carry their own @engine preference inside `pipeline`).
+  std::string plan_engine = "lazygraph-block";
+
+  bool has_pipeline() const { return !pipeline.empty(); }
+
   bool operator==(const Scenario&) const = default;
 
   /// Materializes the user-view graph the engines run on. CC and k-core

@@ -89,6 +89,7 @@ TEST(Oracle, AcceptsGeneratedScenarios) {
 
 TEST(Oracle, RejectsOutOfRangeSource) {
   Scenario s = make_scenario(42, 0);
+  s.pipeline.clear();  // target the single-program path, not the plan oracle
   s.program = ProgramKind::kSssp;
   s.num_vertices = 0;
   s.edges.clear();

@@ -151,7 +151,7 @@ TEST(Trace, JsonlRoundTripIsExact) {
 }
 
 TEST(Trace, SpanKindNamesRoundTrip) {
-  for (int k = 0; k <= static_cast<int>(SpanKind::kBuild); ++k) {
+  for (int k = 0; k <= static_cast<int>(SpanKind::kPlanCarry); ++k) {
     const auto kind = static_cast<SpanKind>(k);
     EXPECT_EQ(sim::span_kind_from_string(sim::to_string(kind)), kind);
   }

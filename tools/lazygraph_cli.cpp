@@ -20,6 +20,18 @@
 //   --trace=FILE         write the run's JSONL trace to FILE
 //   --trace-summary[=K]  print the top-K most expensive spans (default 10)
 //                        plus per-kind totals and the superstep decision log
+//
+// Pipeline mode (record-then-lower; see src/plan/):
+//   --pipeline="kcore(5)|cc|pagerank(0.001)"
+//       runs the recorded stages through plan::Executor: one partition/build
+//       per graph view, stage handoffs (k-core survivors scope cc, cc(seed)
+//       scopes pagerank, traversals scope to the reached set), carried
+//       frontiers, warm-started pagerank refinement, and fusion of
+//       compatible adjacent stages. Grammar: stages joined by '|', each
+//       name[(args)][@engine]; see plan::Pipeline::parse. --engine sets the
+//       default engine for stages without an @engine suffix.
+//   --sequential=true    lower with every reuse mechanism disabled (the
+//                        bit-identical reference lowering)
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -29,14 +41,6 @@
 using namespace lazygraph;
 
 namespace {
-
-engine::EngineKind parse_engine(const std::string& s) {
-  if (s == "sync") return engine::EngineKind::kSync;
-  if (s == "async") return engine::EngineKind::kAsync;
-  if (s == "lazy-block") return engine::EngineKind::kLazyBlock;
-  if (s == "lazy-vertex") return engine::EngineKind::kLazyVertex;
-  throw std::invalid_argument("unknown engine: " + s);
-}
 
 partition::CutKind parse_cut(const std::string& s) {
   if (s == "random") return partition::CutKind::kRandom;
@@ -57,7 +61,8 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 int main(int argc, char** argv) try {
   const Options opts(argc, argv);
   const std::string algo = opts.get("algo", "pagerank");
-  const auto kind = parse_engine(opts.get("engine", "lazy-block"));
+  const auto kind =
+      engine::engine_kind_from_string(opts.get("engine", "lazy-block"));
   const auto machines =
       static_cast<machine_t>(opts.get_int("machines", 16));
   const auto cut = parse_cut(opts.get("cut", "coordinated"));
@@ -83,6 +88,76 @@ int main(int argc, char** argv) try {
     g = datasets::make(datasets::spec_by_name(graph_name),
                        opts.get_double("scale", 0.2));
   }
+  // Pipeline mode: hand the (directed) user graph to the plan executor,
+  // which derives the per-stage views itself.
+  if (opts.has("pipeline")) {
+    const double pipeline_ingest_wall = seconds_since(t_ingest);
+    std::cout << graph_name << ": " << g.num_vertices() << " vertices, "
+              << g.num_edges() << " edges, E/V="
+              << Table::num(g.edge_vertex_ratio(), 2) << "\n";
+    const plan::Pipeline pipe = plan::Pipeline::parse(opts.get("pipeline", ""));
+    if (want_trace) {
+      tracer.record_setup({.kind = sim::SpanKind::kIngest,
+                           .duration_seconds = pipeline_ingest_wall,
+                           .items = g.num_edges()});
+    }
+    plan::LowerOptions lopts;
+    lopts.default_engine = kind;
+    lopts.threads_per_machine =
+        static_cast<std::uint32_t>(opts.get_int("threads-per-machine", 1));
+    if (opts.get_bool("split", false)) lopts.split = {.t_extra = 0.001};
+    if (opts.get_bool("sequential", false)) {
+      lopts = plan::sequential_baseline(lopts);
+    }
+    if (want_trace) lopts.tracer = &tracer;
+
+    plan::Executor exec(
+        std::move(g), machines,
+        {.kind = cut,
+         .seed = static_cast<std::uint64_t>(opts.get_int("seed", 7)),
+         .threads = ingest_threads},
+        &partition::ArtifactCache::global(), ingest_threads);
+    const plan::PipelineResult res = exec.run(pipe, lopts);
+
+    std::cout << "pipeline: " << pipe.to_string() << "\n"
+              << "lowered: " << res.engine_runs << " engine run(s), "
+              << res.partitions_computed << " partition(s), "
+              << res.builds_computed << " build(s)"
+              << (opts.get_bool("sequential", false) ? " [sequential]" : "")
+              << "\n";
+    Table table({"stage", "engine", "group", "mode", "scope", "frontier",
+                 "supersteps", "sim_s", "scanned", "syncs", "MB"});
+    for (const plan::StageReport& r : res.stages) {
+      std::string mode = r.fused ? "fused" : r.warm ? "warm" : "solo";
+      if (r.reused) mode = "reused";
+      table.add_row({r.stage, to_string(r.engine), Table::num(r.group), mode,
+                     Table::num(r.scope_size), Table::num(r.carried_frontier),
+                     Table::num(r.supersteps), Table::num(r.sim_seconds, 4),
+                     Table::num(r.sweep_scanned), Table::num(r.global_syncs),
+                     Table::num(static_cast<double>(r.network_bytes) /
+                                    (1024.0 * 1024.0),
+                                2)});
+    }
+    table.print(std::cout);
+    res.metrics.print(std::cout, "pipeline");
+
+    if (want_trace) tracer.set_run_info("plan", pipe.to_string());
+    if (opts.has("trace")) {
+      const std::string path = opts.get("trace", "trace.jsonl");
+      std::ofstream os(path);
+      require(os.good(), "cannot open trace output: " + path);
+      tracer.write_jsonl(os);
+      std::cout << "trace: " << tracer.spans().size() << " spans, "
+                << tracer.setup_spans().size() << " setup/lowering spans -> "
+                << path << "\n";
+    }
+    if (opts.has("trace-summary") && !tracer.setup_spans().empty()) {
+      std::cout << "\nlowering decisions (wall-clock; not simulated time):\n";
+      tracer.setup_table().print(std::cout);
+    }
+    return res.converged ? 0 : 2;
+  }
+
   const bool symmetrize = (algo == "cc" || algo == "kcore");
   if (symmetrize) g = g.symmetrized();
   const double ingest_wall = seconds_since(t_ingest);
