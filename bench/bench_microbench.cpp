@@ -192,6 +192,44 @@ void BM_PipelineFusion(benchmark::State& state) {
 }
 BENCHMARK(BM_PipelineFusion)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+// The recovery cell (CI uploads its JSON as BENCH_recovery.json): lazy-block
+// pagerank on the test graph at 8 machines, failure-free (arg 0) versus with
+// machine 3 killed at coherency point 4 and restarted after 2 barriers
+// (arg 1). Both runs converge bit-identically — tests/test_recovery.cpp
+// holds that invariant — so the sim_seconds delta between the rows IS the
+// recovery overhead (guard delta-log upkeep + mirror/log rebuild + downtime
+// barriers), and the counters break it down.
+void BM_Recovery(benchmark::State& state) {
+  const bool with_failure = state.range(0) != 0;
+  const Graph& g = test_graph();
+  const machine_t machines = 8;
+  const auto assignment = partition::assign_edges(
+      g, machines, {partition::CutKind::kCoordinated, 1});
+  const auto dg = partition::DistributedGraph::build(g, machines, assignment);
+  const sim::FailurePlan plan =
+      with_failure ? sim::FailurePlan::parse("3@4:2") : sim::FailurePlan{};
+  sim::SimMetrics last;
+  std::uint64_t supersteps = 0;
+  for (auto _ : state) {
+    sim::Cluster cluster({machines, {}, 0, plan});
+    const auto r =
+        engine::run({.kind = engine::EngineKind::kLazyBlock,
+                     .graph_ev_ratio = g.edge_vertex_ratio()},
+                    dg, algos::PageRankDelta{}, cluster);
+    benchmark::DoNotOptimize(r);
+    last = r.metrics;
+    supersteps = r.supersteps;
+  }
+  state.counters["sim_seconds"] = last.sim_seconds();
+  state.counters["supersteps"] = static_cast<double>(supersteps);
+  state.counters["recoveries"] = static_cast<double>(last.recoveries);
+  state.counters["guard_MB"] =
+      static_cast<double>(last.guard_bytes) / (1024.0 * 1024.0);
+  state.counters["recovery_MB"] =
+      static_cast<double>(last.recovery_bytes) / (1024.0 * 1024.0);
+}
+BENCHMARK(BM_Recovery)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 void BM_ReferencePagerank(benchmark::State& state) {
   const Graph& g = test_graph();
   for (auto _ : state) {

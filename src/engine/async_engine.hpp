@@ -26,6 +26,7 @@
 
 #include "engine/local_sweep.hpp"
 #include "engine/state.hpp"
+#include "recovery/recovery.hpp"
 #include "sim/cluster.hpp"
 
 namespace lazygraph::engine {
@@ -53,6 +54,7 @@ class AsyncEngine {
     states_ = make_states(dg_, prog_, opts_.init);
     cluster_.metrics().sweep_scanned +=
         init_eager_messages(prog_, dg_, states_, opts_.init);
+    recovery::Recoverer<P> recoverer(cluster_, dg_);
 
     RunResult<P> result;
     std::vector<std::uint64_t> work(p);
@@ -195,6 +197,9 @@ class AsyncEngine {
                             .active_vertices = applies});
       }
       if (inspector_) inspector_(result.supersteps, states_);
+      // Coherency point: every update replicated eagerly within the round,
+      // so the round boundary is a consistent cut for fault injection.
+      recoverer.on_coherency_point(result.supersteps, states_);
       if (!any) {
         result.converged = true;
         break;

@@ -4,10 +4,14 @@
 // O(num_local) flag slots.
 //
 // Representation switch (PowerGraph-style): activations are recorded in a
-// sparse lvid list until the list grows past a density threshold, at which
-// point the frontier degrades to "dense" — the flag array itself *is* the
-// frontier and consumers fall back to scanning it. `clear()` (called when a
-// sweep fully consumes the frontier) resets to sparse.
+// sparse lvid list while it holds at most `threshold` entries; the first
+// activation that would push past the threshold instead degrades the
+// frontier to "dense" — the flag array itself *is* the frontier and
+// consumers fall back to scanning it. The boundary is exact: a frontier can
+// reach exactly `threshold` sparse entries and stay sparse; entry number
+// threshold+1 flips dense (and is recorded only in the flags, like every
+// activation after it). `clear()` (called when a sweep fully consumes the
+// frontier) resets to sparse.
 //
 // Invariants the engines maintain:
 //   - flag set  =>  the lvid is in the sparse list, or the frontier is dense
@@ -56,8 +60,10 @@ class Frontier {
   bool is_dense() const { return dense_; }
 
   /// Records a fresh activation (callers only invoke this on the flag's 0->1
-  /// transition). Crossing the density threshold drops the list and goes
-  /// dense — the flags carry the information from then on.
+  /// transition). The list may fill to exactly threshold_ entries; the
+  /// activation that would push past it instead drops the list and goes
+  /// dense — that activation and all later ones are carried by the flags
+  /// alone from then on.
   void activate(lvid_t v) {
     if (!tracking_ || dense_) return;
     if (list_.size() >= threshold_) {

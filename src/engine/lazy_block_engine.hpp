@@ -37,6 +37,7 @@
 #include "engine/interval_model.hpp"
 #include "engine/local_sweep.hpp"
 #include "engine/state.hpp"
+#include "recovery/recovery.hpp"
 #include "sim/cluster.hpp"
 
 namespace lazygraph::engine {
@@ -75,6 +76,7 @@ class LazyBlockAsyncEngine {
     exch_pending_.assign(p, {});
     exch_fresh_.assign(p, {});
     const SweepExec exec{&cluster_, opts_.threads_per_machine};
+    recovery::Recoverer<P> recoverer(cluster_, dg_);
 
     RunResult<P> result;
     std::vector<std::uint64_t> work(p), applies(p), subiters(p), scanned(p);
@@ -132,6 +134,7 @@ class LazyBlockAsyncEngine {
         // The exchange delivered nothing and no messages are pending: the
         // previous coherency point's view is still the global one.
         if (inspector_) inspector_(result.supersteps, states_);
+        recoverer.on_coherency_point(result.supersteps, states_);
         result.converged = true;
         break;
       }
@@ -166,6 +169,11 @@ class LazyBlockAsyncEngine {
         first_iter_seconds_ =
             cluster_.metrics().sim_seconds() - iter_start_seconds;
       }
+      // Coherency point for fault injection. Deliberately AFTER the T
+      // calibration above: guard/recovery charges must not inflate the
+      // measured T, or the 3T budget (and hence the whole trajectory) would
+      // differ between a failure run and the failure-free baseline.
+      recoverer.on_coherency_point(result.supersteps, states_);
     }
 
     finalize_result(result, cluster_, dg_, states_);

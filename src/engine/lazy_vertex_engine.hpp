@@ -14,11 +14,13 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <deque>
 #include <vector>
 
 #include "engine/local_sweep.hpp"
 #include "engine/state.hpp"
+#include "recovery/recovery.hpp"
 #include "sim/cluster.hpp"
 
 namespace lazygraph::engine {
@@ -63,6 +65,16 @@ class LazyVertexAsyncEngine {
       // unboundedly. The delta frontiers stay on — they drive the flush.
       states_[m].frontier.set_tracking(false);
     }
+
+    // This engine keeps activation state outside PartState (the queues and
+    // staleness counters), so the recoverer snapshots/restores it through
+    // the extra-state hooks alongside the replica tables.
+    recovery::Recoverer<P> recoverer(cluster_, dg_);
+    recoverer.set_extra_state_hooks(
+        [this](machine_t m) { return save_queue_state(m); },
+        [this](machine_t m, const std::vector<std::uint8_t>& blob) {
+          restore_queue_state(m, blob);
+        });
 
     RunResult<P> result;
     std::vector<std::uint64_t> work(p);
@@ -109,6 +121,11 @@ class LazyVertexAsyncEngine {
         t->record_superstep({.superstep = result.supersteps,
                             .active_vertices = active});
       }
+      // Fault-injection point: end of a counted cycle. Not a replica-
+      // coherent cut like the other engines' (per-vertex coherency leaves
+      // deliveries pending), but the guard image + queue snapshot capture
+      // the full machine state, so a rebuild is still bit-exact.
+      recoverer.on_coherency_point(result.supersteps, states_);
     }
 
     finalize_result(result, cluster_, dg_, states_);
@@ -258,6 +275,49 @@ class LazyVertexAsyncEngine {
       }
     }
     return delivered;
+  }
+
+  /// Serializes machine m's engine-private activation state for the guard
+  /// image: queue contents (order matters — it is the processing schedule)
+  /// followed by the raw staleness counters. in_queue_ is derivable (queue
+  /// membership) and rebuilt on restore.
+  std::vector<std::uint8_t> save_queue_state(machine_t m) const {
+    const std::uint64_t count = queues_[m].size();
+    std::vector<std::uint8_t> blob(sizeof(count) + count * sizeof(lvid_t) +
+                                   applies_since_[m].size() *
+                                       sizeof(std::uint32_t));
+    std::uint8_t* out = blob.data();
+    std::memcpy(out, &count, sizeof(count));
+    out += sizeof(count);
+    for (const lvid_t v : queues_[m]) {
+      std::memcpy(out, &v, sizeof(v));
+      out += sizeof(v);
+    }
+    if (!applies_since_[m].empty()) {
+      std::memcpy(out, applies_since_[m].data(),
+                  applies_since_[m].size() * sizeof(std::uint32_t));
+    }
+    return blob;
+  }
+
+  void restore_queue_state(machine_t m, const std::vector<std::uint8_t>& blob) {
+    const std::uint8_t* in = blob.data();
+    std::uint64_t count = 0;
+    std::memcpy(&count, in, sizeof(count));
+    in += sizeof(count);
+    queues_[m].clear();
+    std::fill(in_queue_[m].begin(), in_queue_[m].end(), 0);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      lvid_t v;
+      std::memcpy(&v, in, sizeof(v));
+      in += sizeof(v);
+      queues_[m].push_back(v);
+      in_queue_[m][v] = 1;
+    }
+    if (!applies_since_[m].empty()) {
+      std::memcpy(applies_since_[m].data(), in,
+                  applies_since_[m].size() * sizeof(std::uint32_t));
+    }
   }
 
   const partition::DistributedGraph& dg_;

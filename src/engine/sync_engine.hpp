@@ -26,6 +26,7 @@
 
 #include "engine/local_sweep.hpp"
 #include "engine/state.hpp"
+#include "recovery/recovery.hpp"
 #include "sim/cluster.hpp"
 
 namespace lazygraph::engine {
@@ -58,6 +59,7 @@ class SyncEngine {
     cluster_.metrics().sweep_scanned +=
         init_eager_messages(prog_, dg_, states_, opts_.init);
     const SweepExec exec{&cluster_, opts_.threads_per_machine};
+    recovery::Recoverer<P> recoverer(cluster_, dg_);
 
     RunResult<P> result;
     std::vector<std::uint64_t> gather_msgs(p), bcast_msgs(p), bcast_payloads(p),
@@ -223,6 +225,9 @@ class SyncEngine {
                             .active_vertices = active});
       }
       if (inspector_) inspector_(result.supersteps, states_);
+      // Coherency point: the eager broadcast just made all replicas
+      // identical, so this is a consistent cut for fault injection.
+      recoverer.on_coherency_point(result.supersteps, states_);
       if (active == 0) {
         result.converged = true;
         break;

@@ -35,7 +35,9 @@
 #include "plan/pipeline.hpp"
 #include "plan/programs.hpp"
 #include "plan/scope.hpp"
+#include "recovery/recovery.hpp"
 #include "sim/cluster.hpp"
+#include "sim/failure.hpp"
 #include "sim/trace.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"

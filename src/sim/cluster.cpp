@@ -7,7 +7,9 @@
 namespace lazygraph::sim {
 
 Cluster::Cluster(const ClusterConfig& cfg)
-    : machines_(cfg.machines), net_(cfg.net, cfg.machines) {
+    : machines_(cfg.machines),
+      net_(cfg.net, cfg.machines),
+      failures_(cfg.failures) {
   require(machines_ >= 1, "Cluster: need at least one machine");
   if (cfg.threads != 1) pool_ = std::make_unique<ThreadPool>(cfg.threads);
 }
@@ -119,6 +121,64 @@ void Cluster::charge_fine_grained(SpanKind kind, std::uint64_t bytes,
     span.messages = messages;
     tracer_->record_span(span);
   }
+}
+
+void Cluster::charge_guard(std::uint64_t bytes, std::uint64_t entries) {
+  const double start = metrics_.sim_seconds();
+  metrics_.guard_bytes += bytes;
+  metrics_.network_bytes += bytes;
+  metrics_.network_messages += entries;
+  const double mb = static_cast<double>(bytes) / (1024.0 * 1024.0) *
+                    net_.config().volume_scale;
+  metrics_.comm_seconds += mb / net_.aggregate_bandwidth_mb_per_s();
+  metrics_.overhead_seconds +=
+      net_.message_overhead_seconds(entries, machines_);
+  if (tracer_) {
+    TraceSpan span = make_span(SpanKind::kGuard, start);
+    span.bytes = bytes;
+    span.messages = entries;
+    tracer_->record_span(span);
+  }
+}
+
+double Cluster::charge_recovery(const RecoveryCharge& charge) {
+  const double start = metrics_.sim_seconds();
+  ++metrics_.recoveries;
+  const std::uint64_t bytes = charge.mirror_bytes + charge.log_bytes;
+  metrics_.recovery_bytes += bytes;
+  metrics_.network_bytes += bytes;
+  metrics_.network_messages += charge.log_entries;
+  // Downtime: the cluster stalls for the configured barrier count while the
+  // replacement machine comes up. Not counted as global_syncs — nothing
+  // synchronizes; the survivors are simply waiting.
+  metrics_.barrier_seconds +=
+      static_cast<double>(charge.down_barriers) *
+      net_.barrier_seconds(machines_);
+  // The local CSR slab is rebuilt from the cached partition artifact: pure
+  // local compute at TEPS, no re-ingest.
+  metrics_.compute_seconds += net_.compute_seconds(charge.rebuild_edges);
+  // Mirror images + delta-log replay funnel through the one rebuilt NIC.
+  const double mb = static_cast<double>(bytes) / (1024.0 * 1024.0);
+  metrics_.comm_seconds += net_.recovery_seconds(mb);
+  metrics_.overhead_seconds +=
+      net_.message_overhead_seconds(charge.log_entries, 1);
+  const double seconds = metrics_.sim_seconds() - start;
+  if (tracer_) {
+    TraceSpan span = make_span(SpanKind::kRecovery, start);
+    span.machines = 1;
+    span.bytes = bytes;
+    span.messages = charge.log_entries;
+    tracer_->record_span(span);
+    tracer_->record_recovery({.superstep = charge.superstep,
+                              .machine = charge.machine,
+                              .down_barriers = charge.down_barriers,
+                              .mirror_bytes = charge.mirror_bytes,
+                              .log_bytes = charge.log_bytes,
+                              .rebuild_edges = charge.rebuild_edges,
+                              .mirror_exact = charge.mirror_exact,
+                              .seconds = seconds});
+  }
+  return seconds;
 }
 
 }  // namespace lazygraph::sim

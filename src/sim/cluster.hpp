@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "sim/failure.hpp"
 #include "sim/metrics.hpp"
 #include "sim/netmodel.hpp"
 #include "sim/trace.hpp"
@@ -26,6 +27,9 @@ struct ClusterConfig {
   /// Worker threads executing machine-local work; 0 = hardware concurrency,
   /// 1 = fully serial (useful in tests).
   std::size_t threads = 0;
+  /// Deterministic machine-failure schedule; empty = no failures. Engines
+  /// act on it at coherency points via recovery::Recoverer.
+  FailurePlan failures = {};
 };
 
 class Cluster {
@@ -34,6 +38,7 @@ class Cluster {
 
   machine_t num_machines() const { return machines_; }
   const NetworkModel& net() const { return net_; }
+  const FailurePlan& failures() const { return failures_; }
   SimMetrics& metrics() { return metrics_; }
   const SimMetrics& metrics() const { return metrics_; }
   void reset_metrics() { metrics_ = SimMetrics{}; }
@@ -91,12 +96,39 @@ class Cluster {
     charge_fine_grained(SpanKind::kFineGrained, bytes, messages);
   }
 
+  /// Charges the delta-log guard kept between coherency points: `bytes` of
+  /// changed master state shipped to survivors in `entries` messages.
+  /// Modeled like fine-grained traffic (bandwidth + per-message overhead);
+  /// appends one kGuard span.
+  void charge_guard(std::uint64_t bytes, std::uint64_t entries);
+
+  /// What one dead-machine reconstruction costs (recovery::Recoverer fills
+  /// this in from the surviving replicas and the delta log).
+  struct RecoveryCharge {
+    std::uint64_t superstep = 0;      // coherency point the kill fired at
+    machine_t machine = 0;            // machine being rebuilt
+    std::uint32_t down_barriers = 1;  // barriers of downtime before re-admit
+    std::uint64_t mirror_bytes = 0;   // boundary vdata pulled from mirrors
+    std::uint64_t log_bytes = 0;      // interior state replayed from the log
+    std::uint64_t log_entries = 0;    // messages carrying the log replay
+    std::uint64_t rebuild_edges = 0;  // local CSR edges rebuilt from artifact
+    std::uint64_t mirror_exact = 0;   // boundary slots bit-equal on a survivor
+  };
+
+  /// Charges one recovery: downtime barriers (no global_syncs — the cluster
+  /// stalls, nothing synchronizes), CSR rebuild compute, and the mirror/log
+  /// gather through the rebuilt machine's NIC. Appends one kRecovery
+  /// TraceSpan and one RecoverySpan stamped with the same seconds, so the
+  /// trace-tiling invariant extends to recovery. Returns those seconds.
+  double charge_recovery(const RecoveryCharge& charge);
+
  private:
   /// Stamps the fields common to every span (superstep, start, duration).
   TraceSpan make_span(SpanKind kind, double start_seconds) const;
 
   machine_t machines_;
   NetworkModel net_;
+  FailurePlan failures_;
   SimMetrics metrics_;
   Tracer* tracer_ = nullptr;          // not owned; null = tracing off
   std::unique_ptr<ThreadPool> pool_;  // null when threads == 1

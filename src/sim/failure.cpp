@@ -1,0 +1,85 @@
+#include "sim/failure.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace lazygraph::sim {
+
+namespace {
+
+// Parses a full decimal number out of [begin, end); throws on empty or
+// partial matches so "3x@1" style junk is rejected rather than truncated.
+std::uint64_t parse_u64(const char* begin, const char* end,
+                        const std::string& what) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  require(ec == std::errc{} && ptr == end,
+          "failure plan: malformed " + what + " in '" +
+              std::string(begin, end) + "'");
+  return value;
+}
+
+}  // namespace
+
+std::string FailureEvent::to_string() const {
+  std::ostringstream os;
+  os << machine << '@' << at_superstep;
+  if (restart_barriers != 1) os << ':' << restart_barriers;
+  return os.str();
+}
+
+std::string FailurePlan::to_string() const {
+  std::string out;
+  for (const FailureEvent& e : events) {
+    if (!out.empty()) out += ',';
+    out += e.to_string();
+  }
+  return out;
+}
+
+FailurePlan FailurePlan::parse(const std::string& text) {
+  FailurePlan plan;
+  if (text.empty() || text == "-") return plan;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(pos, comma - pos);
+    require(!item.empty(), "failure plan: empty event in '" + text + "'");
+    const std::size_t at = item.find('@');
+    require(at != std::string::npos && at > 0,
+            "failure plan: expected m@k[:r], got '" + item + "'");
+    FailureEvent e;
+    e.machine = static_cast<machine_t>(
+        parse_u64(item.data(), item.data() + at, "machine"));
+    const std::size_t colon = item.find(':', at + 1);
+    const char* k_end =
+        item.data() + (colon == std::string::npos ? item.size() : colon);
+    e.at_superstep = parse_u64(item.data() + at + 1, k_end, "superstep");
+    require(e.at_superstep >= 1,
+            "failure plan: superstep must be >= 1 in '" + item + "'");
+    if (colon != std::string::npos) {
+      e.restart_barriers = static_cast<std::uint32_t>(parse_u64(
+          item.data() + colon + 1, item.data() + item.size(), "restart"));
+      require(e.restart_barriers >= 1,
+              "failure plan: restart barriers must be >= 1 in '" + item + "'");
+    }
+    plan.events.push_back(e);
+    pos = comma + 1;
+  }
+  return plan;
+}
+
+FailurePlan FailurePlan::draw(std::uint64_t seed, machine_t machines) {
+  require(machines >= 1, "failure plan: need at least one machine");
+  Rng rng(seed);
+  FailureEvent e;
+  e.machine = static_cast<machine_t>(rng.below(machines));
+  e.at_superstep = 1 + rng.below(8);
+  e.restart_barriers = static_cast<std::uint32_t>(1 + rng.below(3));
+  return FailurePlan{{e}};
+}
+
+}  // namespace lazygraph::sim

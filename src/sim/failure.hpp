@@ -1,0 +1,54 @@
+// Deterministic machine-failure model for the simulated cluster.
+//
+// A FailurePlan is a list of (machine, superstep, restart_barriers) events:
+// kill machine `m` when the engine reaches coherency point `k`, re-admit it
+// after `r` cluster-wide barriers of downtime. Plans are pure data — the
+// cluster carries one and the engines' recovery subsystem (src/recovery/)
+// acts on it at each coherency point, so the same plan injected into the
+// same scenario is bit-reproducible.
+//
+// Text form (CLI `--kill`, scenario text v4): comma-joined `m@k[:r]`
+// events, e.g. "3@4:2" or "0@1,5@3:2". The empty string (or the "-"
+// sentinel used by scenario dumps) is the empty plan.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace lazygraph::sim {
+
+struct FailureEvent {
+  machine_t machine = 0;            // which machine dies
+  std::uint64_t at_superstep = 1;   // coherency point at which it dies (1-based)
+  std::uint32_t restart_barriers = 1;  // barriers of downtime before re-admit
+
+  // "m@k" when restart_barriers == 1, else "m@k:r".
+  std::string to_string() const;
+
+  bool operator==(const FailureEvent&) const = default;
+};
+
+struct FailurePlan {
+  std::vector<FailureEvent> events;
+
+  bool enabled() const { return !events.empty(); }
+
+  // Comma-joined event list; "" for the empty plan.
+  std::string to_string() const;
+
+  // Parses the text form. "" and "-" yield the empty plan; malformed text
+  // (missing '@', zero superstep, junk suffixes) throws invalid_argument.
+  static FailurePlan parse(const std::string& text);
+
+  // Deterministic single-event plan drawn from a seed: uniform machine,
+  // superstep in [1, 8], restart in [1, 3]. Used by the fuzz generator and
+  // the oracle's derived-plan path.
+  static FailurePlan draw(std::uint64_t seed, machine_t machines);
+
+  bool operator==(const FailurePlan&) const = default;
+};
+
+}  // namespace lazygraph::sim

@@ -17,6 +17,13 @@ void SimMetrics::print(std::ostream& os, const std::string& label) const {
      << label << ": msgs=" << network_messages << " traffic="
      << std::setprecision(3) << network_mb() << "MB a2a=" << a2a_exchanges
      << " m2m=" << m2m_exchanges << "\n";
+  if (recoveries > 0 || guard_bytes > 0) {
+    os << std::setprecision(3) << label << ": recoveries=" << recoveries
+       << " guard="
+       << static_cast<double>(guard_bytes) / (1024.0 * 1024.0)
+       << "MB recovery="
+       << static_cast<double>(recovery_bytes) / (1024.0 * 1024.0) << "MB\n";
+  }
   if (setup_seconds > 0.0 || setup_cache_hits + setup_cache_misses > 0) {
     os << std::setprecision(4) << label << ": setup_wall=" << setup_seconds
        << "s cache_hits=" << setup_cache_hits

@@ -27,6 +27,12 @@ struct SimMetrics {
   /// worklist machinery's effectiveness measure: sparse supersteps keep this
   /// near the frontier size instead of O(num_local) per sweep.
   std::uint64_t sweep_scanned = 0;
+  // --- fault injection & recovery (src/recovery/) ---
+  std::uint64_t recoveries = 0;       // machines killed and rebuilt mid-run
+  std::uint64_t guard_bytes = 0;      // delta-log guard traffic since the
+                                      // last coherency point
+  std::uint64_t recovery_bytes = 0;   // mirror + log bytes pulled to rebuild
+                                      // a dead machine (also in network_bytes)
 
   // --- modeled (seconds) ---
   double compute_seconds = 0.0;

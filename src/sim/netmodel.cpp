@@ -17,13 +17,28 @@ double NetworkModel::mirrors_to_master_seconds(double mb) const {
   if (mb <= 0.0) return 0.0;
   mb *= cfg_.volume_scale;
   // Vertex of the (downward) parabola: left of it the paper's fit applies;
-  // right of it we continue with the bandwidth floor so time stays monotone.
+  // right of it the fit would bend back down, so we freeze the parabola at
+  // its peak and extend linearly at the bandwidth floor's slope. A bare
+  // clamp (freeze without the linear term) would make time *flat* past the
+  // vertex until the mb/bandwidth floor catches up — weakly monotone, but
+  // it would let large exchanges stop paying for extra volume, contradicting
+  // the header's contract that volume never gets cheaper with size.
   const double vertex =
       cfg_.m2m_quad < 0.0 ? -cfg_.m2m_per_mb / (2.0 * cfg_.m2m_quad) : mb;
   const double x = std::min(mb, vertex);
-  const double fitted = cfg_.m2m_quad * x * x + cfg_.m2m_per_mb * x +
-                        cfg_.m2m_base;
+  double fitted = cfg_.m2m_quad * x * x + cfg_.m2m_per_mb * x + cfg_.m2m_base;
+  if (mb > vertex) fitted += (mb - vertex) / aggregate_bandwidth_mb_per_s();
   return std::max(fitted, mb / aggregate_bandwidth_mb_per_s());
+}
+
+double NetworkModel::recovery_seconds(double mb) const {
+  if (mb <= 0.0) return 0.0;
+  mb *= cfg_.volume_scale;
+  // Recovery pulls mirror images and delta-log entries from the survivors
+  // into ONE rebuilt machine, so the bottleneck is that machine's single
+  // NIC, not the cluster-aggregate bandwidth, plus one collective setup
+  // latency for the gather.
+  return cfg_.a2a_base + mb / cfg_.bandwidth_mb_per_s;
 }
 
 double NetworkModel::comm_seconds(CommMode mode, double mb) const {

@@ -72,6 +72,11 @@ class NetworkModel {
   double all_to_all_seconds(double mb) const;
   double mirrors_to_master_seconds(double mb) const;
 
+  /// Seconds to pull `mb` megabytes of mirror images + delta-log entries
+  /// into one rebuilt machine (recovery gather: bounded by that machine's
+  /// single NIC, not the cluster aggregate).
+  double recovery_seconds(double mb) const;
+
   /// Barrier latency for a P-machine global synchronization.
   double barrier_seconds(machine_t machines) const;
 

@@ -30,6 +30,8 @@ constexpr struct {
     {SpanKind::kFineGrained, "fine_grained"},
     {SpanKind::kCompute, "compute"},
     {SpanKind::kExchange, "exchange"},
+    {SpanKind::kGuard, "guard"},
+    {SpanKind::kRecovery, "recovery"},
     {SpanKind::kIngest, "ingest"},
     {SpanKind::kPartition, "partition"},
     {SpanKind::kBuild, "build"},
@@ -168,6 +170,7 @@ void Tracer::clear() {
   spans_.clear();
   snapshots_.clear();
   setup_spans_.clear();
+  recovery_spans_.clear();
   engine_.clear();
   algo_.clear();
 }
@@ -188,7 +191,8 @@ void Tracer::write_jsonl(std::ostream& os) const {
   os << "{\"record\":\"run\",\"engine\":" << quote(engine_)
      << ",\"algo\":" << quote(algo_) << ",\"spans\":" << spans_.size()
      << ",\"supersteps\":" << snapshots_.size()
-     << ",\"setup\":" << setup_spans_.size() << "}\n";
+     << ",\"setup\":" << setup_spans_.size()
+     << ",\"recoveries\":" << recovery_spans_.size() << "}\n";
   for (const SetupSpan& s : setup_spans_) {
     os << "{\"record\":\"setup\",\"kind\":\"" << to_string(s.kind)
        << "\",\"start\":" << fmt(s.start_seconds) << ",\"seconds\":"
@@ -205,6 +209,14 @@ void Tracer::write_jsonl(std::ostream& os) const {
        << s.messages << ",\"mode\":" << quote(mode_name(s.comm_mode))
        << ",\"t_a2a\":" << fmt(s.prediction.t_a2a_seconds) << ",\"t_m2m\":"
        << fmt(s.prediction.t_m2m_seconds) << "}\n";
+  }
+  for (const RecoverySpan& s : recovery_spans_) {
+    os << "{\"record\":\"recovery\",\"superstep\":" << s.superstep
+       << ",\"machine\":" << s.machine << ",\"down_barriers\":"
+       << s.down_barriers << ",\"mirror_bytes\":" << s.mirror_bytes
+       << ",\"log_bytes\":" << s.log_bytes << ",\"rebuild_edges\":"
+       << s.rebuild_edges << ",\"mirror_exact\":" << s.mirror_exact
+       << ",\"seconds\":" << fmt(s.seconds) << "}\n";
   }
   for (const SuperstepSnapshot& s : snapshots_) {
     os << "{\"record\":\"superstep\",\"superstep\":" << s.superstep
@@ -257,6 +269,17 @@ Tracer Tracer::read_jsonl(std::istream& is) {
       s.comm_mode = parse_mode(o);
       s.prediction = {o.num("t_a2a", -1.0), o.num("t_m2m", -1.0)};
       t.record_superstep(s);
+    } else if (record == "recovery") {
+      RecoverySpan s;
+      s.superstep = o.u64("superstep");
+      s.machine = static_cast<std::uint32_t>(o.u64("machine"));
+      s.down_barriers = static_cast<std::uint32_t>(o.u64("down_barriers"));
+      s.mirror_bytes = o.u64("mirror_bytes");
+      s.log_bytes = o.u64("log_bytes");
+      s.rebuild_edges = o.u64("rebuild_edges");
+      s.mirror_exact = o.u64("mirror_exact");
+      s.seconds = o.num("seconds");
+      t.record_recovery(s);
     } else if (record == "setup") {
       SetupSpan s;
       s.kind = span_kind_from_string(o.str("kind"));
@@ -354,6 +377,18 @@ Table Tracer::setup_table() const {
   for (const SetupSpan& s : setup_spans_) {
     t.add_row({to_string(s.kind), Table::num(s.duration_seconds, 6),
                Table::num(s.items), s.cache_hit ? "hit" : "miss"});
+  }
+  return t;
+}
+
+Table Tracer::recoveries_table() const {
+  Table t({"superstep", "machine", "down", "mirror_B", "log_B", "edges",
+           "exact", "seconds"});
+  for (const RecoverySpan& s : recovery_spans_) {
+    t.add_row({Table::num(s.superstep), Table::num(s.machine),
+               Table::num(s.down_barriers), Table::num(s.mirror_bytes),
+               Table::num(s.log_bytes), Table::num(s.rebuild_edges),
+               Table::num(s.mirror_exact), Table::num(s.seconds, 6)});
   }
   return t;
 }

@@ -37,6 +37,10 @@ enum class SpanKind : std::uint8_t {
   kFineGrained,        // fine-grained traffic (per-message overhead path)
   kCompute,            // generic compute charge (untyped callers)
   kExchange,           // generic exchange charge (untyped callers)
+  kGuard,              // delta-log guard kept since the last coherency point
+  kRecovery,           // dead-machine reconstruction (mirrors + delta log);
+                       // both participate in the spans-tile-sim-time
+                       // invariant like any other engine span
   // Setup-path kinds: used only by SetupSpan (wall-clock timeline), never by
   // engine TraceSpans — they would break the spans-tile-sim_seconds
   // invariant the oracle checks.
@@ -103,6 +107,23 @@ struct SetupSpan {
   bool operator==(const SetupSpan&) const = default;
 };
 
+/// One dead-machine reconstruction (src/recovery/). `seconds` is stamped
+/// from the same value as the matching kRecovery TraceSpan's duration, so
+/// sum(RecoverySpan.seconds) == sum(kRecovery span durations) exactly and
+/// the trace-tiling invariant extends to recovery traffic.
+struct RecoverySpan {
+  std::uint64_t superstep = 0;      // coherency point at which the kill fired
+  std::uint32_t machine = 0;        // machine that died and was rebuilt
+  std::uint32_t down_barriers = 0;  // barriers of downtime before re-admit
+  std::uint64_t mirror_bytes = 0;   // boundary vdata recovered from mirrors
+  std::uint64_t log_bytes = 0;      // interior vdata + slots from the delta log
+  std::uint64_t rebuild_edges = 0;  // local CSR edges rebuilt from the artifact
+  std::uint64_t mirror_exact = 0;   // boundary slots bit-equal on a survivor
+  double seconds = 0.0;             // simulated seconds the recovery charged
+
+  bool operator==(const RecoverySpan&) const = default;
+};
+
 /// What the adaptive machinery decided at one coherency point.
 struct SuperstepSnapshot {
   std::uint64_t superstep = 0;
@@ -124,6 +145,7 @@ class Tracer {
 
   void record_span(const TraceSpan& s) { spans_.push_back(s); }
   void record_superstep(const SuperstepSnapshot& s) { snapshots_.push_back(s); }
+  void record_recovery(const RecoverySpan& s) { recovery_spans_.push_back(s); }
   /// Appends a setup stage; start_seconds is assigned automatically (the
   /// running total of previously recorded setup spans).
   void record_setup(SetupSpan s);
@@ -131,6 +153,9 @@ class Tracer {
   const std::vector<TraceSpan>& spans() const { return spans_; }
   const std::vector<SuperstepSnapshot>& snapshots() const { return snapshots_; }
   const std::vector<SetupSpan>& setup_spans() const { return setup_spans_; }
+  const std::vector<RecoverySpan>& recoveries() const {
+    return recovery_spans_;
+  }
   void clear();
 
   /// Sum of all span durations; equals SimMetrics::sim_seconds() of the run
@@ -140,8 +165,8 @@ class Tracer {
   double total_setup_seconds() const;
 
   // --- export ---
-  /// One JSON object per line: a "run" header, then "span" / "superstep"
-  /// records in timeline order.
+  /// One JSON object per line: a "run" header, then "span" / "superstep" /
+  /// "recovery" records in timeline order.
   void write_jsonl(std::ostream& os) const;
   /// Parses write_jsonl output back (exact round-trip).
   static Tracer read_jsonl(std::istream& is);
@@ -156,6 +181,8 @@ class Tracer {
   Table supersteps_table() const;
   /// The wall-clock setup timeline (empty table if no setup was recorded).
   Table setup_table() const;
+  /// Recovery events (empty table if no machine died).
+  Table recoveries_table() const;
 
  private:
   std::string engine_;
@@ -163,6 +190,7 @@ class Tracer {
   std::vector<TraceSpan> spans_;
   std::vector<SuperstepSnapshot> snapshots_;
   std::vector<SetupSpan> setup_spans_;
+  std::vector<RecoverySpan> recovery_spans_;
 };
 
 }  // namespace lazygraph::sim

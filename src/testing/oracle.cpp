@@ -1,6 +1,7 @@
 #include "testing/oracle.hpp"
 
 #include <cmath>
+#include <iterator>
 #include <limits>
 #include <optional>
 #include <set>
@@ -59,9 +60,12 @@ template <class P, class ReplicaEq, class EagerEq>
 RunOutput<P> run_one(EngineKind kind, const partition::DistributedGraph& dg,
                      const P& prog, const Scenario& s, const OracleOptions& o,
                      std::size_t threads, bool with_tracer, bool with_inspector,
-                     ReplicaEq lazy_replica_eq, EagerEq eager_eq) {
+                     ReplicaEq lazy_replica_eq, EagerEq eager_eq,
+                     const sim::FailurePlan* failures = nullptr) {
   RunOutput<P> out;
-  sim::Cluster cluster(sim::ClusterConfig{s.machines, {}, threads});
+  sim::ClusterConfig cc{s.machines, {}, threads};
+  if (failures) cc.failures = *failures;
+  sim::Cluster cluster(cc);
   if (with_tracer) {
     cluster.set_tracer(&out.tracer);
     out.tracer.set_run_info(engine::to_string(kind), to_string(s.program));
@@ -226,6 +230,11 @@ std::optional<std::string> run_program(const Scenario& s,
   const auto& dg_lazy = dg_split_p ? *dg_split_p : dg_plain;
 
   bool injected = false;
+  // Failure-free baselines, kept per engine for the fault-injection branch's
+  // bit-identity comparison below.
+  std::vector<std::vector<typename P::VData>> base_data;
+  std::vector<std::uint64_t> base_steps;
+  std::vector<double> base_seconds;
   for (EngineKind kind : kAllEngines) {
     const auto& dg = is_lazy(kind) ? dg_lazy : dg_plain;
     auto out = run_one(kind, dg, prog, s, o, /*threads=*/1,
@@ -243,6 +252,128 @@ std::optional<std::string> run_program(const Scenario& s,
         check_run_invariants(out, g.num_vertices(), o, /*with_tracer=*/true);
     if (!f) f = against_ref(out.result.data);
     if (f) return std::string(engine::to_string(kind)) + ": " + *f;
+    base_data.push_back(std::move(out.result.data));
+    base_steps.push_back(out.result.supersteps);
+    base_seconds.push_back(out.sim_seconds);
+  }
+
+  // --- Fault injection: kill + recover must be invisible in the results. ---
+  const sim::FailurePlan plan = sim::FailurePlan::parse(s.kill);
+  if (plan.enabled()) {
+    for (std::size_t i = 0; i < std::size(kAllEngines); ++i) {
+      const EngineKind kind = kAllEngines[i];
+      const auto& dg = is_lazy(kind) ? dg_lazy : dg_plain;
+      const std::string tag =
+          std::string(engine::to_string(kind)) + " (kill " + s.kill + "): ";
+      auto out = run_one(kind, dg, prog, s, o, /*threads=*/1,
+                         /*with_tracer=*/true,
+                         /*with_inspector=*/o.check_replica_coherency,
+                         replica_eq, bit_eq, &plan);
+      // Run invariants — including replica coherency at every
+      // post-recovery coherency point and the exact trace tiling, which the
+      // kGuard/kRecovery spans must preserve.
+      std::optional<std::string> f =
+          check_run_invariants(out, g.num_vertices(), o, /*with_tracer=*/true);
+      if (f) return tag + *f;
+      // Bit-identity with the failure-free run: same trajectory length,
+      // identical converged bits.
+      if (out.result.supersteps != base_steps[i]) {
+        return tag + "took " + std::to_string(out.result.supersteps) +
+               " supersteps, failure-free run took " +
+               std::to_string(base_steps[i]);
+      }
+      for (vid_t v = 0; v < g.num_vertices(); ++v) {
+        if (!bit_eq(out.result.data[v], base_data[i][v])) {
+          return tag + "vertex " + std::to_string(v) +
+                 " not bit-identical to the failure-free run";
+        }
+      }
+      // Recovery must cost something, never save time.
+      if (out.sim_seconds < base_seconds[i]) {
+        return tag + "simulated time " + num(out.sim_seconds) +
+               " below the failure-free run's " + num(base_seconds[i]);
+      }
+      // Every kill that fell inside the run must surface as exactly one
+      // recovery: in the metrics, as a kRecovery span, and as a
+      // RecoverySpan whose seconds match the span's duration exactly.
+      std::uint64_t expected = 0;
+      for (const sim::FailureEvent& e : plan.events) {
+        if (e.machine < dg.num_machines() &&
+            e.at_superstep <= out.result.supersteps) {
+          ++expected;
+        }
+      }
+      if (out.result.metrics.recoveries != expected) {
+        return tag + "metrics count " +
+               std::to_string(out.result.metrics.recoveries) +
+               " recoveries, plan schedules " + std::to_string(expected);
+      }
+      if (o.check_trace) {
+        std::uint64_t recovery_spans = 0;
+        double span_seconds = 0.0;
+        for (const sim::TraceSpan& sp : out.tracer.spans()) {
+          if (sp.kind == sim::SpanKind::kRecovery) {
+            ++recovery_spans;
+            span_seconds += sp.duration_seconds;
+          }
+        }
+        double recorded_seconds = 0.0;
+        for (const sim::RecoverySpan& r : out.tracer.recoveries()) {
+          recorded_seconds += r.seconds;
+        }
+        if (recovery_spans != expected ||
+            out.tracer.recoveries().size() != expected) {
+          return tag + "trace has " + std::to_string(recovery_spans) +
+                 " kRecovery spans / " +
+                 std::to_string(out.tracer.recoveries().size()) +
+                 " RecoverySpans for " + std::to_string(expected) +
+                 " scheduled kills";
+        }
+        if (recorded_seconds != span_seconds) {
+          return tag + "RecoverySpan seconds " + num(recorded_seconds) +
+                 " != kRecovery span seconds " + num(span_seconds);
+        }
+      }
+    }
+
+    if (o.check_determinism) {
+      // Same seed + same failure plan must reproduce bit-identically.
+      const EngineKind kind = kAllEngines[mix64(s.seed ^ s.partition_seed) % 4];
+      const auto& dg = is_lazy(kind) ? dg_lazy : dg_plain;
+      auto run_fail = [&](std::size_t threads) {
+        return run_one(kind, dg, prog, s, o, threads, /*with_tracer=*/false,
+                       /*with_inspector=*/false, replica_eq, bit_eq, &plan);
+      };
+      const auto base = run_fail(1);
+      struct Rerun {
+        const char* what;
+        std::size_t threads;
+      };
+      for (const Rerun r :
+           {Rerun{"repeated failure run", 1}, Rerun{"2-thread failure run", 2}}) {
+        const auto again = run_fail(r.threads);
+        std::string why;
+        if (again.result.supersteps != base.result.supersteps) {
+          why = "superstep count";
+        } else if (again.sim_seconds != base.sim_seconds) {
+          why = "simulated seconds";
+        } else if (again.result.metrics.recoveries !=
+                   base.result.metrics.recoveries) {
+          why = "recovery count";
+        } else {
+          for (vid_t v = 0; v < g.num_vertices(); ++v) {
+            if (!bit_eq(again.result.data[v], base.result.data[v])) {
+              why = "vertex " + std::to_string(v) + " data";
+              break;
+            }
+          }
+        }
+        if (!why.empty()) {
+          return std::string(engine::to_string(kind)) + ": " + r.what +
+                 " not bit-identical (" + why + ")";
+        }
+      }
+    }
   }
 
   if (o.check_determinism) {
@@ -712,6 +843,22 @@ Verdict check_scenario(const Scenario& s, const OracleOptions& opts) {
   } catch (const std::exception& e) {
     return {false, std::string("exception: ") + e.what()};
   }
+}
+
+Verdict check_failure_scenario(const Scenario& s, const OracleOptions& opts) {
+  if (s.has_pipeline()) {
+    return {false, "failure scenario: pipelines do not take failure plans"};
+  }
+  if (s.machines == 0 || s.machines > 64) {
+    return {false, "scenario: machine count out of range"};
+  }
+  Scenario f = s;
+  if (f.kill.empty()) {
+    // Deterministic derived plan: same scenario seed, same kill, always.
+    f.kill = sim::FailurePlan::draw(mix64(s.seed ^ 0xfa110f5ULL), s.machines)
+                 .to_string();
+  }
+  return check_scenario(f, opts);
 }
 
 }  // namespace lazygraph::testing

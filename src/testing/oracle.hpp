@@ -48,6 +48,22 @@ struct Verdict {
 
 Verdict check_scenario(const Scenario& s, const OracleOptions& opts = {});
 
+/// Fault-injection oracle entry point. Ensures the scenario carries a
+/// failure plan — when `s.kill` is empty, a deterministic single-kill plan
+/// is drawn from the scenario seed — then defers to check_scenario, whose
+/// failure branch re-runs all four engines with the plan and asserts:
+///
+///   1. the converged state with an injected kill+recover is bit-identical
+///      to the failure-free run (same supersteps, same result bits);
+///   2. replica coherency holds at every post-recovery coherency point
+///      (the same inspector hooks as the failure-free runs);
+///   3. recovery cost appears as RecoverySpans whose seconds match the
+///      kRecovery trace spans exactly, keeping the trace-tiling invariant;
+///   4. same seed + same failure plan reproduce bit-identically (repeated
+///      and under a two-thread cluster).
+Verdict check_failure_scenario(const Scenario& s,
+                               const OracleOptions& opts = {});
+
 /// The plan-layer oracle, used by check_scenario whenever
 /// Scenario::has_pipeline(). Lowers the recorded pipeline twice — composed
 /// (fusion, carried frontiers, artifact cache, stage memo all on) and as the

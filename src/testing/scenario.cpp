@@ -10,6 +10,7 @@
 #include "engine/run.hpp"
 #include "graph/generators.hpp"
 #include "plan/pipeline.hpp"
+#include "sim/failure.hpp"
 #include "util/rng.hpp"
 
 namespace lazygraph::testing {
@@ -105,13 +106,14 @@ std::string Scenario::summary() const {
   if (has_pipeline()) {
     os << " pipeline=" << pipeline << " plan_engine=" << plan_engine;
   }
+  if (has_failures()) os << " kill=" << kill;
   return os.str();
 }
 
 void Scenario::to_text(std::ostream& os) const {
   // %.17g round-trips every finite double exactly.
   char buf[64];
-  os << "lazygraph-scenario v3\n";
+  os << "lazygraph-scenario v4\n";
   os << "seed " << seed << "\n";
   os << "vertices " << num_vertices << "\n";
   os << "machines " << machines << "\n";
@@ -134,6 +136,9 @@ void Scenario::to_text(std::ostream& os) const {
   // the explicit "no pipeline" sentinel.
   os << "pipeline " << (pipeline.empty() ? "-" : pipeline) << "\n";
   os << "plan_engine " << plan_engine << "\n";
+  // Failure-plan text ("m@k[:r]", comma-joined) is space-free by
+  // construction; "-" is the explicit "no failures" sentinel.
+  os << "kill " << (kill.empty() ? "-" : kill) << "\n";
   os << "edges " << edges.size() << "\n";
   for (const Edge& e : edges) {
     std::snprintf(buf, sizeof buf, "%.9g", static_cast<double>(e.weight));
@@ -153,9 +158,10 @@ Scenario Scenario::from_text(std::istream& is) {
   };
   std::string line;
   if (!std::getline(is, line)) fail("missing scenario header");
-  // v1 dumps predate the threads_per_machine key and v2 dumps predate the
-  // pipeline keys; both parse with the defaults (tpm=1, no pipeline), so old
-  // corpus files stay replayable bit-for-bit.
+  // v1 dumps predate the threads_per_machine key, v2 dumps predate the
+  // pipeline keys, and v3 dumps predate the kill key; all parse with the
+  // defaults (tpm=1, no pipeline, no failures), so old corpus files stay
+  // replayable bit-for-bit.
   int version = 0;
   if (line == "lazygraph-scenario v1") {
     version = 1;
@@ -163,8 +169,10 @@ Scenario Scenario::from_text(std::istream& is) {
     version = 2;
   } else if (line == "lazygraph-scenario v3") {
     version = 3;
+  } else if (line == "lazygraph-scenario v4") {
+    version = 4;
   } else {
-    fail("missing 'lazygraph-scenario v1|v2|v3' header");
+    fail("missing 'lazygraph-scenario v1|v2|v3|v4' header");
   }
   Scenario s;
   auto expect_key = [&](const std::string& key) -> std::string {
@@ -197,6 +205,12 @@ Scenario Scenario::from_text(std::istream& is) {
     }
     s.plan_engine = expect_key("plan_engine");
     engine::engine_kind_from_string(s.plan_engine);  // validates; throws
+  }
+  if (version >= 4) {
+    const std::string k = expect_key("kill");
+    if (k != "-") {
+      s.kill = sim::FailurePlan::parse(k).to_string();  // validates
+    }
   }
   const std::uint64_t num_edges = std::stoull(expect_key("edges"));
   s.edges.reserve(num_edges);
@@ -368,6 +382,18 @@ Scenario make_scenario(std::uint64_t corpus_seed, std::uint64_t index) {
     constexpr EngineKind kPlanEngines[] = {
         EngineKind::kSync, EngineKind::kLazyBlock, EngineKind::kLazyVertex};
     s.plan_engine = engine::to_string(kPlanEngines[rng.below(3)]);
+  }
+
+  // --- fault injection ---
+  // Drawn last, after the pipeline, for the usual reason: earlier fields of
+  // pre-existing corpus seeds are unchanged by the knob's introduction.
+  // About a quarter of non-pipeline scenarios inject a machine failure; the
+  // oracle then re-runs every engine with the kill installed and requires
+  // the recovered run to converge bit-identically to the failure-free one.
+  // Pipeline scenarios are exempt: the plan executor reuses one cluster
+  // across stages, so a per-run failure plan would re-fire every stage.
+  if (!s.has_pipeline() && rng.below(4) == 0) {
+    s.kill = sim::FailurePlan::draw(rng(), s.machines).to_string();
   }
   return s;
 }

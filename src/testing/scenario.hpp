@@ -81,7 +81,15 @@ struct Scenario {
   /// still carry their own @engine preference inside `pipeline`).
   std::string plan_engine = "lazygraph-block";
 
+  // --- fault injection ---
+  /// When non-empty, a failure plan in sim::FailurePlan text form
+  /// ("m@k[:r]", comma-joined). The oracle re-runs every engine with the
+  /// plan installed and requires the converged state to be bit-identical to
+  /// the failure-free run. Empty means no failures (the v1-v3 behaviour).
+  std::string kill;
+
   bool has_pipeline() const { return !pipeline.empty(); }
+  bool has_failures() const { return !kill.empty(); }
 
   bool operator==(const Scenario&) const = default;
 

@@ -146,6 +146,11 @@ class Shrinker {
       member(c);
       if (try_accept(std::move(c))) improved = true;
     };
+    if (report_.scenario.has_failures()) {
+      // Dropping the failure plan first separates "the bug needs the kill"
+      // from "the scenario fails anyway" in one attempt.
+      try_knob([](Scenario& c) { c.kill.clear(); });
+    }
     if (report_.scenario.split) {
       try_knob([](Scenario& c) { c.split = false; });
     }

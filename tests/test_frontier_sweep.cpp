@@ -54,6 +54,29 @@ TEST(Frontier, CrossingThresholdGoesDenseAndScansFlags) {
   EXPECT_EQ(live, 200u);
 }
 
+// The boundary contract, exactly: the sparse list may fill to threshold
+// entries and stay sparse; the activation that would push past it flips
+// dense (recorded in the flags only — the list is dropped).
+TEST(Frontier, ExactThresholdStaysSparseOneMoreGoesDense) {
+  Frontier f;
+  f.reset(1000);  // threshold = max(64, 1000/8) = 125
+  for (lvid_t v = 0; v < 125; ++v) f.activate(v);
+  EXPECT_FALSE(f.is_dense());
+  EXPECT_EQ(f.entries().size(), 125u);  // all retained at the boundary
+
+  f.activate(125);  // entry 126: would push past the threshold
+  EXPECT_TRUE(f.is_dense());
+  EXPECT_TRUE(f.entries().empty());
+
+  // Flags carry the information from the switch on: the flipped frontier
+  // scans every flag, finding the boundary activation too.
+  std::vector<std::uint8_t> flags(1000, 0);
+  for (lvid_t v = 0; v <= 125; ++v) flags[v] = 1;
+  std::size_t live = 0;
+  EXPECT_EQ(f.for_each_flagged(flags, [&](lvid_t) { ++live; }), 1000u);
+  EXPECT_EQ(live, 126u);
+}
+
 TEST(Frontier, ClearResetsDenseToSparse) {
   Frontier f;
   f.reset(100);  // threshold = 64
@@ -184,7 +207,9 @@ void expect_states_bit_identical(const PartState<P>& a, const PartState<P>& b,
   ASSERT_EQ(a.has_msg, b.has_msg) << what;
   ASSERT_EQ(a.has_delta, b.has_delta) << what;
   for (std::size_t v = 0; v < a.has_msg.size(); ++v) {
-    if (a.has_msg[v]) EXPECT_EQ(a.msg[v], b.msg[v]) << what << " msg " << v;
+    if (a.has_msg[v]) {
+      EXPECT_EQ(a.msg[v], b.msg[v]) << what << " msg " << v;
+    }
     if (a.has_delta[v]) {
       EXPECT_EQ(a.delta[v], b.delta[v]) << what << " delta " << v;
     }
@@ -286,6 +311,45 @@ TEST(LocalSweep, DenseSwitchMidSweepMatchesReferenceScan) {
     EXPECT_EQ(rig.state().vdata[v].dist, ref.vdata[v].dist) << v;
   }
   expect_states_bit_identical(rig.state(), ref, "mid-sweep switch");
+}
+
+// Exact-boundary regression for the mid-sweep switch: with threshold T, a
+// hub fan-out of exactly T activations lands the list at exactly T entries
+// (the sweep drains the entry list into its heap before processing, so the
+// hub's own entry is gone) and must stay sparse; a fan-out of T+1 is the
+// first to flip dense mid-sweep. Both sides of the boundary must match the
+// serial reference scan bit-for-bit.
+TEST(LocalSweep, ExactBoundaryFanOutMidSweep) {
+  const vid_t n = 600;  // threshold = max(64, 600/8) = 75
+  for (const vid_t fanout : {vid_t{75}, vid_t{76}}) {
+    std::vector<Edge> edges;
+    for (vid_t v = 1; v <= fanout; ++v) edges.push_back({0, v, 1.0f});
+    SweepRig<algos::SSSP> rig(Graph(n, std::move(edges)));
+
+    engine::deposit_msg(rig.prog, rig.state(), 0, 0.0);
+    ASSERT_FALSE(rig.state().frontier.is_dense());
+    PartState<algos::SSSP> ref = rig.state();
+
+    const SweepCounters got = engine::local_sweep(rig.prog, rig.part(),
+                                                  rig.state());
+    const SweepCounters want = reference_scan_sweep(rig.prog, rig.part(), ref);
+    EXPECT_EQ(rig.state().frontier.is_dense(), fanout == 76)
+        << "fanout " << fanout;
+    if (fanout == 75) {
+      // The carried frontier holds exactly the threshold: every leaf was
+      // ahead of the cursor, consumed this sweep, and re-listed nowhere —
+      // so nothing carries and the next sweep starts empty. What matters
+      // here is the representation never degraded.
+      EXPECT_FALSE(rig.state().frontier.is_dense());
+    }
+    EXPECT_EQ(got.applies, want.applies) << "fanout " << fanout;
+    EXPECT_EQ(got.work, want.work) << "fanout " << fanout;
+    for (lvid_t v = 0; v < rig.part().num_local(); ++v) {
+      ASSERT_EQ(rig.state().vdata[v].dist, ref.vdata[v].dist)
+          << "fanout " << fanout << " vertex " << v;
+    }
+    expect_states_bit_identical(rig.state(), ref, "exact boundary");
+  }
 }
 
 TEST(LocalSweep, SnapshotSweepMatchesReferenceSnapshot) {

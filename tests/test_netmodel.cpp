@@ -45,6 +45,67 @@ TEST(NetModel, MonotoneBeyondParabolaVertex) {
   }
 }
 
+// Property: comm time is non-decreasing in volume for BOTH patterns, across
+// a fine grid that straddles the m2m parabola's vertex, for every
+// volume_scale and cluster size. This is the regression test for the old
+// vertex clamp, which froze the fitted curve flat past the vertex (weakly
+// monotone, but extra volume stopped costing anything until the bandwidth
+// floor caught up).
+TEST(NetModel, CommTimeNonDecreasingAcrossVertexAllScales) {
+  for (const double vs : {0.25, 1.0, 4.0, 32.0}) {
+    for (const machine_t machines : {machine_t{1}, machine_t{8},
+                                     machine_t{48}}) {
+      NetworkModelConfig cfg;
+      cfg.volume_scale = vs;
+      const NetworkModel net(cfg, machines);
+      // Vertex of the effective-MB parabola: -b/2a = 375 MB at the default
+      // fit; the raw-MB grid must cross it at every volume_scale.
+      const double vertex_raw = 375.0 / vs;
+      double prev_a2a = 0.0, prev_m2m = 0.0;
+      for (double frac = 0.05; frac <= 4.0; frac += 0.05) {
+        const double mb = frac * vertex_raw;
+        const double a2a = net.all_to_all_seconds(mb);
+        const double m2m = net.mirrors_to_master_seconds(mb);
+        ASSERT_GE(a2a, prev_a2a) << "a2a vs=" << vs << " P=" << machines
+                                 << " mb=" << mb;
+        ASSERT_GE(m2m, prev_m2m) << "m2m vs=" << vs << " P=" << machines
+                                 << " mb=" << mb;
+        prev_a2a = a2a;
+        prev_m2m = m2m;
+      }
+    }
+  }
+}
+
+TEST(NetModel, M2mStrictlyIncreasingBeyondVertex) {
+  // Past the vertex the fitted curve extends linearly at the bandwidth
+  // floor's slope, so time keeps strictly growing (no flat plateau).
+  const NetworkModel net({}, 48);
+  const double vertex = 375.0;  // effective MB at volume_scale=1
+  EXPECT_GT(net.mirrors_to_master_seconds(vertex + 100.0),
+            net.mirrors_to_master_seconds(vertex));
+  EXPECT_GT(net.mirrors_to_master_seconds(vertex + 200.0),
+            net.mirrors_to_master_seconds(vertex + 100.0));
+  // The extension slope is exactly the aggregate-bandwidth slope (both the
+  // extended fit and the floor are lines of that slope, so their max is
+  // too, and the increment is independent of which branch wins).
+  const double slope_step =
+      net.mirrors_to_master_seconds(vertex + 200.0) -
+      net.mirrors_to_master_seconds(vertex + 100.0);
+  EXPECT_NEAR(slope_step, 100.0 / net.aggregate_bandwidth_mb_per_s(), 1e-12);
+}
+
+TEST(NetModel, M2mUnchangedLeftOfVertex) {
+  // The monotonicity repair only touches volumes past the vertex: left of
+  // it the paper's printed fit still applies verbatim.
+  const NetworkModel net({}, 48);
+  for (const double mb : {1.0, 10.0, 100.0, 300.0, 374.9}) {
+    EXPECT_NEAR(net.mirrors_to_master_seconds(mb),
+                -6e-7 * mb * mb + 0.00045 * mb + 0.047, 1e-12)
+        << mb;
+  }
+}
+
 TEST(NetModel, BandwidthFloorUsesAggregateBandwidth) {
   // Pick a volume where the per-NIC floor dominates the fitted line for both
   // cluster sizes (the fitted slope itself equals ~3.4 GB/s aggregate, so

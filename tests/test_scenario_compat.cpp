@@ -1,0 +1,170 @@
+// Scenario text back-compat: v1/v2/v3 dumps (which predate the
+// threads_per_machine, pipeline, and kill keys respectively) must parse
+// with defaults, re-serialize as current-version text, and shrink
+// correctly. Guards the `kill` key scenario text v4 added for failure
+// plans.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/failure.hpp"
+#include "testing/oracle.hpp"
+#include "testing/scenario.hpp"
+#include "testing/shrinker.hpp"
+
+namespace lazygraph::testing {
+namespace {
+
+/// Emits `s` in the key layout of an older scenario-text version, exactly
+/// as those releases wrote it (same key order; newer keys absent).
+std::string emit_at_version(const Scenario& s, int version) {
+  char buf[64];
+  std::ostringstream os;
+  os << "lazygraph-scenario v" << version << "\n";
+  os << "seed " << s.seed << "\n";
+  os << "vertices " << s.num_vertices << "\n";
+  os << "machines " << s.machines << "\n";
+  os << "cut " << partition::to_string(s.cut) << "\n";
+  os << "partition_seed " << s.partition_seed << "\n";
+  os << "split " << (s.split ? 1 : 0) << "\n";
+  os << "program " << testing::to_string(s.program) << "\n";
+  os << "source " << s.source << "\n";
+  os << "kcore_k " << s.kcore_k << "\n";
+  std::snprintf(buf, sizeof buf, "%.17g", s.tol);
+  os << "tol " << buf << "\n";
+  std::snprintf(buf, sizeof buf, "%.17g", s.alpha);
+  os << "alpha " << buf << "\n";
+  os << "staleness " << s.staleness << "\n";
+  if (version >= 2) {
+    os << "threads_per_machine " << s.threads_per_machine << "\n";
+  }
+  os << "interval " << engine::to_string(s.interval_policy) << "\n";
+  os << "comm " << engine::to_string(s.comm_policy) << "\n";
+  if (version >= 3) {
+    os << "pipeline " << (s.pipeline.empty() ? "-" : s.pipeline) << "\n";
+    os << "plan_engine " << s.plan_engine << "\n";
+  }
+  if (version >= 4) {
+    os << "kill " << (s.kill.empty() ? "-" : s.kill) << "\n";
+  }
+  os << "edges " << s.edges.size() << "\n";
+  for (const Edge& e : s.edges) {
+    std::snprintf(buf, sizeof buf, "%.9g", static_cast<double>(e.weight));
+    os << e.src << " " << e.dst << " " << buf << "\n";
+  }
+  return os.str();
+}
+
+/// `s` with every field a vN dump cannot carry reset to its default.
+Scenario at_version_defaults(Scenario s, int version) {
+  const Scenario d;
+  if (version < 2) s.threads_per_machine = d.threads_per_machine;
+  if (version < 3) {
+    s.pipeline = d.pipeline;
+    s.plan_engine = d.plan_engine;
+  }
+  if (version < 4) s.kill = d.kill;
+  return s;
+}
+
+// Property: for a spread of generated scenarios, each historical version's
+// dump parses to the scenario with the missing keys defaulted, and
+// re-serializing that parse through the current writer round-trips exactly.
+TEST(ScenarioCompat, AllVersionsParseDefaultAndRoundTrip) {
+  for (std::uint64_t i = 0; i < 60; ++i) {
+    const Scenario s = make_scenario(20260808, i);
+    for (int version = 1; version <= 4; ++version) {
+      const Scenario parsed = Scenario::from_text(emit_at_version(s, version));
+      EXPECT_EQ(parsed, at_version_defaults(s, version))
+          << "scenario " << i << " v" << version;
+      // Current-writer round trip of the parsed scenario.
+      EXPECT_EQ(Scenario::from_text(parsed.to_text()), parsed)
+          << "scenario " << i << " v" << version << " re-serialize";
+    }
+  }
+}
+
+TEST(ScenarioCompat, CurrentWriterEmitsV4) {
+  const Scenario s = make_scenario(1, 0);
+  EXPECT_EQ(s.to_text().substr(0, 22), "lazygraph-scenario v4\n");
+}
+
+TEST(ScenarioCompat, KillKeyRoundTripsAndDashMeansNone) {
+  Scenario s = make_scenario(7, 3);
+  s.pipeline.clear();  // kill and pipeline are mutually exclusive by draw
+  s.kill = "1@2:3,0@5";
+  const Scenario parsed = Scenario::from_text(s.to_text());
+  EXPECT_EQ(parsed.kill, "1@2:3,0@5");
+  EXPECT_TRUE(parsed.has_failures());
+
+  s.kill.clear();
+  const std::string text = s.to_text();
+  EXPECT_NE(text.find("\nkill -\n"), std::string::npos);
+  EXPECT_FALSE(Scenario::from_text(text).has_failures());
+}
+
+TEST(ScenarioCompat, MalformedKillRejected) {
+  Scenario s = make_scenario(7, 3);
+  s.kill.clear();
+  for (const char* bad : {"nonsense", "@3", "1@0", "1@2:0", "1@2x", ",1@2"}) {
+    std::string text = s.to_text();
+    const std::string needle = "\nkill -\n";
+    const auto pos = text.find(needle);
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, needle.size(), std::string("\nkill ") + bad + "\n");
+    EXPECT_THROW(Scenario::from_text(text), std::invalid_argument) << bad;
+  }
+}
+
+TEST(ScenarioCompat, UnknownHeaderRejected) {
+  const Scenario s = make_scenario(7, 3);
+  std::string text = s.to_text();
+  text.replace(0, 21, "lazygraph-scenario v5");
+  EXPECT_THROW(Scenario::from_text(text), std::invalid_argument);
+}
+
+// Generator sanity for the v4 draw: failure plans appear at roughly 1-in-4
+// on non-pipeline scenarios, never alongside a pipeline, and every drawn
+// plan is valid canonical FailurePlan text.
+TEST(ScenarioCompat, GeneratorDrawsValidKillPlans) {
+  int with_kill = 0, eligible = 0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const Scenario s = make_scenario(99, i);
+    if (s.has_pipeline()) {
+      EXPECT_FALSE(s.has_failures()) << i;
+      continue;
+    }
+    ++eligible;
+    if (!s.has_failures()) continue;
+    ++with_kill;
+    const auto plan = sim::FailurePlan::parse(s.kill);
+    EXPECT_EQ(plan.to_string(), s.kill) << i;  // canonical form
+    ASSERT_EQ(plan.events.size(), 1u) << i;
+    EXPECT_LT(plan.events[0].machine, s.machines) << i;
+  }
+  // ~25% of eligible scenarios; loose bounds to stay seed-robust.
+  EXPECT_GT(with_kill, eligible / 8);
+  EXPECT_LT(with_kill, eligible / 2);
+}
+
+// Shrinker integration: when the failure predicate does not depend on the
+// kill, the drop-kill knob removes it; when it does, the kill survives
+// shrinking and the shrunk dump still round-trips.
+TEST(ScenarioCompat, ShrinkerDropsOrKeepsKill) {
+  Scenario s = make_scenario(11, 5);
+  s.pipeline.clear();
+  s.kill = "1@2:3";
+
+  const auto indifferent = [](const Scenario& c) { return c.machines >= 1; };
+  const ShrinkReport dropped = shrink(s, indifferent, 500);
+  EXPECT_TRUE(dropped.scenario.kill.empty());
+
+  const auto needs_kill = [](const Scenario& c) { return c.has_failures(); };
+  const ShrinkReport kept = shrink(s, needs_kill, 500);
+  EXPECT_EQ(kept.scenario.kill, "1@2:3");
+  EXPECT_EQ(Scenario::from_text(kept.scenario.to_text()), kept.scenario);
+}
+
+}  // namespace
+}  // namespace lazygraph::testing

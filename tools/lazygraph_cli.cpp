@@ -20,6 +20,13 @@
 //   --trace=FILE         write the run's JSONL trace to FILE
 //   --trace-summary[=K]  print the top-K most expensive spans (default 10)
 //                        plus per-kind totals and the superstep decision log
+//   --kill=m@k[:r]       fault injection: kill machine m at coherency point
+//                        k, restart after r barriers (default 1); several
+//                        events comma-joined, e.g. --kill=3@4:2,1@7. The
+//                        recovered run converges bit-identically to the
+//                        failure-free one; recovery cost shows up in the
+//                        metrics (recoveries, guard/recovery MB) and, with
+//                        --trace-summary, a per-recovery table.
 //
 // Pipeline mode (record-then-lower; see src/plan/):
 //   --pipeline="kcore(5)|cc|pagerank(0.001)"
@@ -199,7 +206,8 @@ int main(int argc, char** argv) try {
                          .items = dg.total_local_edges()});
   }
 
-  sim::Cluster cluster({machines, {}, 0});
+  sim::Cluster cluster(
+      {machines, {}, 0, sim::FailurePlan::parse(opts.get("kill", ""))});
 
   engine::RunConfig cfg;
   cfg.kind = kind;  // graph_ev_ratio auto-derives from the dg's user view
@@ -301,6 +309,10 @@ int main(int argc, char** argv) try {
     if (!tracer.snapshots().empty()) {
       std::cout << "\nsuperstep decisions:\n";
       tracer.supersteps_table().print(std::cout);
+    }
+    if (!tracer.recoveries().empty()) {
+      std::cout << "\nrecoveries:\n";
+      tracer.recoveries_table().print(std::cout);
     }
   }
 
