@@ -4,7 +4,9 @@
 // figures.
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <sstream>
+#include <vector>
 
 #include "lazygraph.hpp"
 
@@ -93,18 +95,25 @@ void BM_SweepScaling(benchmark::State& state) {
   const algos::PageRankDelta prog{};
   auto states = engine::make_states(dg, prog);
   engine::PartState<algos::PageRankDelta>& s = states[0];
+  engine::SweepCounters last = {};
   for (auto _ : state) {
     state.PauseTiming();
     for (lvid_t v = 0; v < part.num_local(); ++v) {
       engine::deposit_msg(prog, s, v, 1.0);
     }
     state.ResumeTiming();
-    benchmark::DoNotOptimize(
-        engine::local_sweep(prog, part, s, engine::SweepMode::kSnapshot,
-                            {&cluster, tpm}));
+    last = engine::local_sweep(prog, part, s, engine::SweepMode::kSnapshot,
+                               {&cluster, tpm});
+    benchmark::DoNotOptimize(last);
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(part.num_local_edges()));
+  // Deterministic per-sweep work counters: identical across the tpm args
+  // (the sweep is bit-identical at any thread count), so the bench gate can
+  // pin them exactly while time_per_sweep varies with the machine.
+  state.counters["sweep_work"] = static_cast<double>(last.work);
+  state.counters["sweep_applies"] = static_cast<double>(last.applies);
+  state.counters["sweep_scanned"] = static_cast<double>(last.scanned);
 }
 BENCHMARK(BM_SweepScaling)
     ->Arg(1)
@@ -128,6 +137,7 @@ void BM_IngestScaling(benchmark::State& state) {
     return os.str();
   }();
   const machine_t machines = 48;
+  double rf = 0.0;
   for (auto _ : state) {
     // A fresh Graph each iteration: degree/hash caches must not leak work
     // across iterations — recomputing degrees is part of the setup cost.
@@ -135,13 +145,16 @@ void BM_IngestScaling(benchmark::State& state) {
     const auto assignment = partition::assign_edges(
         g, machines,
         {.kind = partition::CutKind::kHybrid, .seed = 1, .threads = threads});
-    benchmark::DoNotOptimize(
-        partition::replication_factor(g, assignment, machines, threads));
+    rf = partition::replication_factor(g, assignment, machines, threads);
+    benchmark::DoNotOptimize(rf);
     benchmark::DoNotOptimize(partition::DistributedGraph::build(
         g, machines, assignment, {}, threads));
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(test_graph().num_edges()));
+  // Identical across thread counts (the whole pipeline is bit-deterministic,
+  // tests/test_ingest_parallel.cpp) — an exact cell for the bench gate.
+  state.counters["replication_factor"] = rf;
 }
 BENCHMARK(BM_IngestScaling)
     ->Arg(1)
@@ -229,6 +242,63 @@ void BM_Recovery(benchmark::State& state) {
       static_cast<double>(last.recovery_bytes) / (1024.0 * 1024.0);
 }
 BENCHMARK(BM_Recovery)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// The serving cell (CI uploads its JSON as BENCH_serve.json): one fixed
+// 48-query mixed-family Zipf stream served by the multi-tenant QueryServer
+// over a shared lazy-block engine, at max_lanes 1 (no batching) / 4 / 16.
+// Every lane is bit-identical to its solo run — tests/test_serve.cpp holds
+// that invariant — so the rows isolate pure batching benefit: qps_sim and
+// the latency percentiles ride the deterministic virtual clock (identical
+// on every host, gateable exactly), while wall time measures the host.
+// Acceptance: qps_sim at max_lanes=16 strictly above max_lanes=1.
+void BM_ServeThroughput(benchmark::State& state) {
+  const auto max_lanes = static_cast<std::uint32_t>(state.range(0));
+  static const Graph& g = []() -> const Graph& {
+    static const Graph sg =
+        gen::rmat(11, 10, 0.57, 0.19, 0.19, 7, {1.0f, 4.0f});
+    return sg;
+  }();
+  const machine_t machines = 8;
+  static const auto dg =
+      std::make_shared<const partition::DistributedGraph>(
+          partition::DistributedGraph::build(
+              g, machines,
+              partition::assign_edges(
+                  g, machines, {partition::CutKind::kCoordinated, 1})));
+  static const std::vector<serve::Query> queries = [] {
+    serve::TrafficOptions t;
+    t.seed = 20260808;
+    t.num_queries = 48;
+    t.rate_qps = 400.0;  // fast enough arrivals that wide batches can fill
+    t.zipf_skew = 1.0;
+    t.tenants = 4;
+    return serve::make_traffic(t, g.num_vertices());
+  }();
+  serve::ServeOptions o;
+  o.run.kind = engine::EngineKind::kLazyBlock;
+  o.run.graph_ev_ratio = g.edge_vertex_ratio();
+  o.policy.max_lanes = max_lanes;
+  o.policy.max_wait_seconds = 0.05;
+  o.cluster_threads = 1;
+  serve::ServeReport rep;
+  for (auto _ : state) {
+    serve::QueryServer server(dg, o);
+    rep = server.serve(queries);
+    benchmark::DoNotOptimize(rep);
+  }
+  state.counters["qps_sim"] = rep.queries_per_second();
+  state.counters["batches"] = static_cast<double>(rep.batches);
+  state.counters["lat_p50"] = rep.latency_percentile(50.0);
+  state.counters["lat_p90"] = rep.latency_percentile(90.0);
+  state.counters["lat_p99"] = rep.latency_percentile(99.0);
+  state.counters["queue_p99"] = rep.queue_percentile(99.0);
+  state.counters["service_p50"] = rep.service_percentile(50.0);
+}
+BENCHMARK(BM_ServeThroughput)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ReferencePagerank(benchmark::State& state) {
   const Graph& g = test_graph();

@@ -5,12 +5,17 @@
 // changes incrementally from its initial value until convergence, and the
 // commutative/associative Sum makes replicas order-insensitive.
 //
-// b_i is a per-vertex bias: `base_bias` everywhere plus `seed_bias` at one
-// seed vertex (personalized diffusion from a source). alpha must be < 1.
+// b_i is a per-vertex bias: `base_bias` everywhere plus `seed_bias` at each
+// seed vertex (personalized diffusion from a source set). The common case is
+// one seed (`seed`); multi-seed personalization goes through the explicit
+// `multi_seed` constructor path, which fills the sorted `seeds` list that
+// overrides the single-seed field. alpha must be < 1.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <optional>
+#include <vector>
 
 #include "engine/program.hpp"
 
@@ -31,9 +36,34 @@ struct LinearDiffusion {
   vid_t seed = 0;
   double seed_bias = 1.0;
   double tol = 1e-7;
+  /// Non-empty = multi-seed personalization: `seed_bias` lands on every
+  /// listed vertex and the single `seed` field is ignored. Kept sorted and
+  /// deduplicated (bias() binary-searches it).
+  std::vector<vid_t> seeds = {};
+
+  /// The explicit multi-seed constructor path: personalized diffusion from
+  /// a seed *set*. Duplicates are dropped, order does not matter.
+  static LinearDiffusion multi_seed(std::vector<vid_t> seed_set,
+                                    double alpha = 0.5, double tol = 1e-7,
+                                    double seed_bias = 1.0,
+                                    double base_bias = 0.0) {
+    std::sort(seed_set.begin(), seed_set.end());
+    seed_set.erase(std::unique(seed_set.begin(), seed_set.end()),
+                   seed_set.end());
+    return {.alpha = alpha,
+            .base_bias = base_bias,
+            .seed_bias = seed_bias,
+            .tol = tol,
+            .seeds = std::move(seed_set)};
+  }
+
+  bool is_seed(vid_t gid) const {
+    if (seeds.empty()) return gid == seed;
+    return std::binary_search(seeds.begin(), seeds.end(), gid);
+  }
 
   double bias(vid_t gid) const {
-    return base_bias + (gid == seed ? seed_bias : 0.0);
+    return base_bias + (is_seed(gid) ? seed_bias : 0.0);
   }
 
   VData init_data(const engine::VertexInfo& info) const {

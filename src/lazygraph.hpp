@@ -36,6 +36,12 @@
 #include "plan/programs.hpp"
 #include "plan/scope.hpp"
 #include "recovery/recovery.hpp"
+#include "serve/batched.hpp"
+#include "serve/executor.hpp"
+#include "serve/query.hpp"
+#include "serve/server.hpp"
+#include "serve/traffic.hpp"
+#include "serve/verify.hpp"
 #include "sim/cluster.hpp"
 #include "sim/failure.hpp"
 #include "sim/trace.hpp"

@@ -24,18 +24,27 @@
 
 namespace lazygraph::partition {
 
-/// Hit/miss counters and wall-clock seconds spent computing misses.
-/// Hits are (near-)free; the seconds measure what the cache saves on reuse.
+/// Hit/miss/eviction counters and wall-clock seconds spent computing
+/// misses. Hits are (near-)free; the seconds measure what the cache saves
+/// on reuse. Byte figures are estimates (vector footprints of the cached
+/// artifacts), good enough to enforce a budget, not an allocator audit.
 struct ArtifactStats {
   std::uint64_t assignment_hits = 0;
   std::uint64_t assignment_misses = 0;
   std::uint64_t dgraph_hits = 0;
   std::uint64_t dgraph_misses = 0;
+  std::uint64_t assignment_evictions = 0;
+  std::uint64_t dgraph_evictions = 0;
+  std::uint64_t evicted_bytes = 0;   // estimated bytes of evicted artifacts
+  std::uint64_t resident_bytes = 0;  // estimated bytes currently cached
   double partition_seconds = 0.0;  // wall-clock spent in assign_edges misses
   double build_seconds = 0.0;      // wall-clock spent in build misses
 
   std::uint64_t hits() const { return assignment_hits + dgraph_hits; }
   std::uint64_t misses() const { return assignment_misses + dgraph_misses; }
+  std::uint64_t evictions() const {
+    return assignment_evictions + dgraph_evictions;
+  }
 };
 
 class ArtifactCache {
@@ -58,6 +67,16 @@ class ArtifactCache {
 
   ArtifactStats stats() const;
   void clear();
+
+  /// Byte budget for long-lived processes (the query server): when the
+  /// estimated resident bytes exceed it, least-recently-used artifacts are
+  /// evicted (across both maps, oldest touch first) until back under.
+  /// 0 (the default) means unbounded — short-lived tools and global() keep
+  /// their historical behavior, bounded only by the entry-count cap.
+  /// Shrinking the budget evicts immediately. Evicted artifacts still
+  /// referenced by callers stay alive; only future reuse is lost.
+  void set_byte_budget(std::uint64_t bytes);
+  std::uint64_t byte_budget() const;
 
   /// Process-wide instance shared by the bench harness, fuzz oracle, and CLI.
   static ArtifactCache& global();

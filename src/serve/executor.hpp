@@ -1,0 +1,191 @@
+// Runs one batch of same-family queries through an engine and slices the
+// result back into per-lane outcomes, with per-lane coherency accounting.
+//
+// The executor constructs engines directly (instead of going through
+// engine::run) because the per-lane accounting needs the coherency
+// inspector hook, which RunConfig does not expose. run_solo runs the plain
+// single-lane program through the identical construction path with the
+// identical liveness probe, so batched-vs-solo comparisons of both state
+// and coherency-point counts are apples-to-apples.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "engine/run.hpp"
+#include "serve/batched.hpp"
+
+namespace lazygraph::serve {
+
+/// Engine knobs one batch runs with (the subset of engine::RunConfig a
+/// server pins for its lifetime, minus the plan-layer injection fields).
+struct BatchRunOptions {
+  engine::EngineKind kind = engine::EngineKind::kLazyBlock;
+  std::uint64_t max_supersteps = 1'000'000;
+  std::uint32_t threads_per_machine = 1;
+  /// E/V ratio for the lazy-block interval model; <= 0 derives it from dg.
+  double graph_ev_ratio = 0.0;
+  engine::IntervalModelConfig interval = {};
+  engine::CommModePolicy comm_policy = engine::CommModePolicy::kAdaptive;
+  std::uint32_t staleness = 4;  // lazy-vertex
+  /// Optional span recorder attached to the cluster for the run.
+  sim::Tracer* tracer = nullptr;
+};
+
+/// One lane's slice of a batched run.
+template <engine::VertexProgram P>
+struct LaneOutcome {
+  std::vector<typename P::VData> data;  // converged state, per global vertex
+  /// Coherency points at which this lane still had pending work (a raised
+  /// lane-masked msg/delta bit on any replica). The lane's dropout point:
+  /// after `live_points` inspections it stopped contributing to exchanges.
+  std::uint64_t live_points = 0;
+};
+
+/// Everything a batched (or solo — then lanes.size() == 1) run reports.
+template <engine::VertexProgram P>
+struct BatchOutcome {
+  std::vector<LaneOutcome<P>> lanes;
+  bool converged = false;
+  std::uint64_t supersteps = 0;
+  std::uint64_t coherency_points = 0;  // inspector firings for the run
+  sim::SimMetrics metrics = {};
+};
+
+namespace detail {
+
+/// Shared engine-construction switch: builds the engine for `prog` (plain or
+/// batched), attaches `inspector`, runs, and returns the RunResult. Mirrors
+/// engine::run's dispatch (including the tracer attach/restore protocol).
+template <engine::VertexProgram P, class Inspector>
+engine::RunResult<P> run_with_inspector(
+    const partition::DistributedGraph& dg, const P& prog,
+    const BatchRunOptions& o, sim::Cluster& cluster, Inspector&& inspector) {
+  sim::Tracer* const previous = cluster.tracer();
+  if (o.tracer) {
+    cluster.set_tracer(o.tracer);
+    o.tracer->set_run_info(engine::to_string(o.kind));
+  }
+  const double ev_ratio =
+      o.graph_ev_ratio > 0.0 ? o.graph_ev_ratio : dg.user_ev_ratio();
+
+  engine::RunResult<P> result;
+  switch (o.kind) {
+    case engine::EngineKind::kSync: {
+      engine::SyncEngine<P> e(dg, prog, cluster,
+                              {o.max_supersteps, o.threads_per_machine});
+      e.set_coherency_inspector(inspector);
+      result = e.run();
+      break;
+    }
+    case engine::EngineKind::kAsync: {
+      engine::AsyncEngine<P> e(dg, prog, cluster, {o.max_supersteps});
+      e.set_coherency_inspector(inspector);
+      result = e.run();
+      break;
+    }
+    case engine::EngineKind::kLazyBlock: {
+      engine::LazyBlockAsyncEngine<P> e(
+          dg, prog, cluster,
+          {o.max_supersteps, o.interval, o.comm_policy,
+           o.threads_per_machine},
+          ev_ratio);
+      e.set_coherency_inspector(inspector);
+      result = e.run();
+      break;
+    }
+    case engine::EngineKind::kLazyVertex: {
+      engine::LazyVertexAsyncEngine<P> e(dg, prog, cluster,
+                                         {o.max_supersteps, o.staleness});
+      e.set_coherency_inspector(inspector);
+      result = e.run();
+      break;
+    }
+  }
+  if (o.tracer) cluster.set_tracer(previous);
+  return result;
+}
+
+template <std::size_t K, engine::VertexProgram P>
+BatchOutcome<P> run_batched_width(const partition::DistributedGraph& dg,
+                                  const std::vector<P>& progs,
+                                  const BatchRunOptions& o,
+                                  sim::Cluster& cluster) {
+  BatchedProgram<P, K> bp;
+  bp.width = progs.size();
+  for (std::size_t i = 0; i < progs.size(); ++i) bp.lanes[i] = progs[i];
+
+  std::array<std::uint64_t, K> live{};
+  std::uint64_t points = 0;
+  const auto r = run_with_inspector(
+      dg, bp, o, cluster,
+      [&](std::uint64_t,
+          const std::vector<engine::PartState<BatchedProgram<P, K>>>&
+              states) {
+        ++points;
+        const auto pending = lanes_pending(states);
+        for (std::size_t i = 0; i < K; ++i) live[i] += pending[i];
+      });
+
+  BatchOutcome<P> out;
+  out.converged = r.converged;
+  out.supersteps = r.supersteps;
+  out.coherency_points = points;
+  out.metrics = r.metrics;
+  out.lanes.resize(progs.size());
+  const vid_t n = static_cast<vid_t>(r.data.size());
+  for (std::size_t i = 0; i < progs.size(); ++i) {
+    out.lanes[i].live_points = live[i];
+    out.lanes[i].data.resize(n);
+    for (vid_t g = 0; g < n; ++g) out.lanes[i].data[g] = r.data[g][i];
+  }
+  return out;
+}
+
+}  // namespace detail
+
+/// Runs `progs` (1..kMaxBatchLanes same-family lane programs) as one batched
+/// engine run; the compiled lane width is the smallest of {1,2,4,8,16}
+/// covering the batch, surplus lanes stay padding.
+template <engine::VertexProgram P>
+BatchOutcome<P> run_batched(const partition::DistributedGraph& dg,
+                            const std::vector<P>& progs,
+                            const BatchRunOptions& o, sim::Cluster& cluster) {
+  const std::size_t w = progs.size();
+  if (w == 0 || w > kMaxBatchLanes) {
+    throw std::invalid_argument("run_batched: batch width must be 1..16");
+  }
+  if (w <= 1) return detail::run_batched_width<1>(dg, progs, o, cluster);
+  if (w <= 2) return detail::run_batched_width<2>(dg, progs, o, cluster);
+  if (w <= 4) return detail::run_batched_width<4>(dg, progs, o, cluster);
+  if (w <= 8) return detail::run_batched_width<8>(dg, progs, o, cluster);
+  return detail::run_batched_width<16>(dg, progs, o, cluster);
+}
+
+/// Runs ONE query as the plain (unbatched) program with the same engine
+/// construction and the same liveness probe — the solo baseline every lane
+/// of a batched run must be bit-identical to.
+template <engine::VertexProgram P>
+BatchOutcome<P> run_solo(const partition::DistributedGraph& dg, const P& prog,
+                         const BatchRunOptions& o, sim::Cluster& cluster) {
+  std::uint64_t live = 0, points = 0;
+  const auto r = detail::run_with_inspector(
+      dg, prog, o, cluster,
+      [&](std::uint64_t,
+          const std::vector<engine::PartState<P>>& states) {
+        ++points;
+        if (any_pending(states)) ++live;
+      });
+  BatchOutcome<P> out;
+  out.converged = r.converged;
+  out.supersteps = r.supersteps;
+  out.coherency_points = points;
+  out.metrics = r.metrics;
+  out.lanes.resize(1);
+  out.lanes[0].data = r.data;
+  out.lanes[0].live_points = live;
+  return out;
+}
+
+}  // namespace lazygraph::serve

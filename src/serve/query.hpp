@@ -1,0 +1,76 @@
+// The serving layer's unit of work: one single-source query (or k-core
+// threshold probe) from one tenant, stamped with its open-loop arrival time
+// on the server's virtual clock.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace lazygraph::serve {
+
+/// Program families the server batches. Queries batch only within a family
+/// (lanes of one engine run share the program's VData/Msg types).
+enum class QueryFamily : std::uint8_t {
+  kSssp,       // shortest path from query.source
+  kBfs,        // hop distance from query.source
+  kWidest,     // widest path from query.source
+  kDiffusion,  // personalized linear diffusion seeded at query.source
+  kKcore,      // k-core with threshold query.k
+};
+
+inline constexpr QueryFamily kAllQueryFamilies[] = {
+    QueryFamily::kSssp, QueryFamily::kBfs, QueryFamily::kWidest,
+    QueryFamily::kDiffusion, QueryFamily::kKcore};
+
+inline const char* to_string(QueryFamily f) {
+  switch (f) {
+    case QueryFamily::kSssp: return "sssp";
+    case QueryFamily::kBfs: return "bfs";
+    case QueryFamily::kWidest: return "widest";
+    case QueryFamily::kDiffusion: return "diffusion";
+    case QueryFamily::kKcore: return "kcore";
+  }
+  return "?";
+}
+
+inline QueryFamily query_family_from_string(const std::string& s) {
+  for (const QueryFamily f : kAllQueryFamilies) {
+    if (s == to_string(f)) return f;
+  }
+  throw std::invalid_argument("unknown query family: " + s);
+}
+
+struct Query {
+  std::uint64_t id = 0;      // admission order ties break on this
+  std::uint32_t tenant = 0;  // issuing tenant (per-tenant accounting)
+  QueryFamily family = QueryFamily::kSssp;
+  vid_t source = 0;     // traversal source / diffusion seed (unused: kcore)
+  std::uint32_t k = 3;  // k-core threshold (unused: source families)
+  /// Arrival on the server's virtual clock (open-loop: arrivals never wait
+  /// on service).
+  double arrival_seconds = 0.0;
+};
+
+/// One served query's outcome and timing. All *_seconds fields are virtual
+/// time (deterministic; the engine's simulated seconds are the service
+/// charge), except service_wall_seconds which is measured host time of the
+/// batch this query rode in.
+struct QueryRecord {
+  Query query;
+  std::uint64_t batch_id = 0;
+  std::uint32_t lane = 0;         // lane index within the batch
+  std::uint32_t batch_width = 0;  // live lanes the batch packed
+  std::uint64_t digest = 0;       // canonical converged-state digest
+  std::uint64_t supersteps = 0;   // supersteps of the batch's engine run
+  /// Coherency points at which this lane still had pending work.
+  std::uint64_t live_points = 0;
+  double queue_seconds = 0.0;    // dispatch - arrival
+  double service_seconds = 0.0;  // the batch run's simulated seconds
+  double latency_seconds = 0.0;  // completion - arrival
+  double service_wall_seconds = 0.0;  // host seconds of the batch run
+};
+
+}  // namespace lazygraph::serve

@@ -1,0 +1,112 @@
+#include "serve/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace lazygraph::serve {
+
+namespace {
+
+// Zipf sampler over a seeded permutation of the vertex ids: popularity rank
+// r (weight 1/(r+1)^skew) maps to a shuffled vertex, so the hot set is not
+// just the low ids the generators favour structurally. Sampling is a binary
+// search over the cumulative weights — O(log n) per draw, deterministic.
+class ZipfSources {
+ public:
+  ZipfSources(vid_t n, double skew, Rng rng) : perm_(n), cum_(n) {
+    for (vid_t v = 0; v < n; ++v) perm_[v] = v;
+    for (vid_t v = n; v > 1; --v) {
+      std::swap(perm_[v - 1], perm_[rng.below(v)]);
+    }
+    double total = 0.0;
+    for (vid_t r = 0; r < n; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r) + 1.0, skew);
+      cum_[r] = total;
+    }
+  }
+
+  vid_t draw(Rng& rng) const {
+    const double u = rng.uniform() * cum_.back();
+    const auto it = std::lower_bound(cum_.begin(), cum_.end(), u);
+    const auto rank = static_cast<std::size_t>(it - cum_.begin());
+    return perm_[std::min(rank, perm_.size() - 1)];
+  }
+
+ private:
+  std::vector<vid_t> perm_;
+  std::vector<double> cum_;
+};
+
+}  // namespace
+
+std::vector<Query> make_traffic(const TrafficOptions& opts,
+                                vid_t num_vertices) {
+  const double weights[] = {opts.w_sssp, opts.w_bfs, opts.w_widest,
+                            opts.w_diffusion, opts.w_kcore};
+  double total_w = 0.0;
+  double source_w = 0.0;
+  for (std::size_t f = 0; f < std::size(weights); ++f) {
+    if (weights[f] < 0.0) {
+      throw std::invalid_argument("make_traffic: negative family weight");
+    }
+    total_w += weights[f];
+    if (kAllQueryFamilies[f] != QueryFamily::kKcore) source_w += weights[f];
+  }
+  if (total_w <= 0.0) {
+    throw std::invalid_argument("make_traffic: no family has weight");
+  }
+  if (source_w > 0.0 && num_vertices == 0) {
+    throw std::invalid_argument(
+        "make_traffic: source families need a non-empty graph");
+  }
+  if (opts.rate_qps <= 0.0) {
+    throw std::invalid_argument("make_traffic: rate must be positive");
+  }
+
+  // Independent streams per concern: adding queries never reshuffles the
+  // source permutation, and vice versa.
+  Rng base(opts.seed);
+  Rng arrivals = base.fork(1);
+  Rng families = base.fork(2);
+  Rng sources = base.fork(3);
+  Rng tenants = base.fork(4);
+  const ZipfSources zipf(std::max<vid_t>(num_vertices, 1), opts.zipf_skew,
+                         base.fork(5));
+
+  std::vector<Query> out;
+  out.reserve(opts.num_queries);
+  double clock = 0.0;
+  for (std::uint32_t i = 0; i < opts.num_queries; ++i) {
+    // Exponential gap; 1-u keeps the argument in (0,1].
+    clock += -std::log(1.0 - arrivals.uniform()) / opts.rate_qps;
+
+    Query q;
+    q.id = i;
+    q.arrival_seconds = clock;
+    q.tenant = opts.tenants == 0
+                   ? 0
+                   : static_cast<std::uint32_t>(tenants.below(opts.tenants));
+    double pick = families.uniform() * total_w;
+    q.family = kAllQueryFamilies[std::size(weights) - 1];
+    for (std::size_t f = 0; f < std::size(weights); ++f) {
+      if (pick < weights[f]) {
+        q.family = kAllQueryFamilies[f];
+        break;
+      }
+      pick -= weights[f];
+    }
+    if (q.family == QueryFamily::kKcore) {
+      q.k = static_cast<std::uint32_t>(
+          sources.range(1, std::max<std::uint32_t>(opts.kcore_max_k, 1)));
+    } else {
+      q.source = zipf.draw(sources);
+    }
+    out.push_back(q);
+  }
+  return out;
+}
+
+}  // namespace lazygraph::serve

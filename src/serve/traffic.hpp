@@ -1,0 +1,43 @@
+// Deterministic open-loop synthetic traffic: Poisson arrivals (exponential
+// inter-arrival gaps on the virtual clock), Zipf-skewed source popularity
+// over a seeded vertex permutation, and a weighted family mix across
+// tenants. Same options + seed => bit-identical query stream, which is what
+// makes BENCH_serve.json reproducible and the admission policy testable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/query.hpp"
+
+namespace lazygraph::serve {
+
+struct TrafficOptions {
+  std::uint64_t seed = 1;
+  std::uint32_t num_queries = 64;
+  /// Mean arrival rate, queries per virtual second (open-loop: the process
+  /// never waits on the server).
+  double rate_qps = 100.0;
+  /// Zipf popularity exponent for source draws: rank-r vertex drawn with
+  /// weight 1/(r+1)^skew. 0 = uniform.
+  double zipf_skew = 1.0;
+  std::uint32_t tenants = 4;
+  /// k-core thresholds drawn uniformly from [1, kcore_max_k].
+  std::uint32_t kcore_max_k = 5;
+  /// Family-mix weights; 0 disables a family. k-core is off by default (it
+  /// is a whole-graph probe, not a per-source query — enable explicitly).
+  double w_sssp = 1.0;
+  double w_bfs = 1.0;
+  double w_widest = 1.0;
+  double w_diffusion = 1.0;
+  double w_kcore = 0.0;
+};
+
+/// Generates the arrival-ordered query stream for a graph with
+/// `num_vertices` vertices. Throws std::invalid_argument when no family has
+/// positive weight, or when a source-family weight is positive with an
+/// empty graph.
+std::vector<Query> make_traffic(const TrafficOptions& opts,
+                                vid_t num_vertices);
+
+}  // namespace lazygraph::serve

@@ -1,0 +1,140 @@
+// The batched-vs-solo identity contract, in one place: per-family lane
+// state comparison (bit-exact for the integer / semilattice families,
+// bounded for floating-point diffusion), canonical result digests, and the
+// policy for when per-lane coherency-point counts must match the solo run.
+// Shared by QueryServer's --verify self-check, tests/test_serve.cpp, and
+// testing::check_batch_scenario.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algos/bfs.hpp"
+#include "algos/diffusion.hpp"
+#include "algos/kcore.hpp"
+#include "algos/sssp.hpp"
+#include "algos/widest_path.hpp"
+#include "engine/run.hpp"
+#include "serve/executor.hpp"
+
+namespace lazygraph::serve {
+
+inline std::uint64_t bits_of(double v) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+/// Per-family lane-state equality. slack <= 0 demands bit-identity; a
+/// positive slack bounds the absolute difference (used only for diffusion
+/// under the lazy engines, where apply-splitting reassociates the fp sums —
+/// the same rule the fuzz oracle applies to the plain program).
+inline bool lane_eq(const algos::SSSP::VData& a, const algos::SSSP::VData& b,
+                    double) {
+  return bits_of(a.dist) == bits_of(b.dist);
+}
+inline bool lane_eq(const algos::BFS::VData& a, const algos::BFS::VData& b,
+                    double) {
+  return a.depth == b.depth;
+}
+inline bool lane_eq(const algos::WidestPath::VData& a,
+                    const algos::WidestPath::VData& b, double) {
+  return bits_of(a.capacity) == bits_of(b.capacity);
+}
+inline bool lane_eq(const algos::KCore::VData& a,
+                    const algos::KCore::VData& b, double) {
+  return a.core == b.core && a.deleted == b.deleted;
+}
+inline bool lane_eq(const algos::LinearDiffusion::VData& a,
+                    const algos::LinearDiffusion::VData& b, double slack) {
+  if (slack <= 0.0) {
+    return bits_of(a.value) == bits_of(b.value) &&
+           bits_of(a.pending_delta) == bits_of(b.pending_delta);
+  }
+  return std::abs(a.value - b.value) <= slack &&
+         std::abs(a.pending_delta - b.pending_delta) <= slack;
+}
+
+// --- canonical digests (FNV-1a over the semantic fields only — never raw
+// struct bytes, which would hash padding) ---
+
+inline void fold_bytes(std::uint64_t& h, const void* p, std::size_t n) {
+  const auto* b = static_cast<const unsigned char*>(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= b[i];
+    h *= 0x100000001b3ULL;
+  }
+}
+inline void fold_vdata(std::uint64_t& h, const algos::SSSP::VData& v) {
+  const std::uint64_t b = bits_of(v.dist);
+  fold_bytes(h, &b, sizeof(b));
+}
+inline void fold_vdata(std::uint64_t& h, const algos::BFS::VData& v) {
+  fold_bytes(h, &v.depth, sizeof(v.depth));
+}
+inline void fold_vdata(std::uint64_t& h, const algos::WidestPath::VData& v) {
+  const std::uint64_t b = bits_of(v.capacity);
+  fold_bytes(h, &b, sizeof(b));
+}
+inline void fold_vdata(std::uint64_t& h, const algos::KCore::VData& v) {
+  fold_bytes(h, &v.core, sizeof(v.core));
+  const unsigned char d = v.deleted ? 1 : 0;
+  fold_bytes(h, &d, sizeof(d));
+}
+inline void fold_vdata(std::uint64_t& h,
+                       const algos::LinearDiffusion::VData& v) {
+  const std::uint64_t a = bits_of(v.value), b = bits_of(v.pending_delta);
+  fold_bytes(h, &a, sizeof(a));
+  fold_bytes(h, &b, sizeof(b));
+}
+
+template <class VData>
+std::uint64_t lane_digest(const std::vector<VData>& data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& v : data) fold_vdata(h, v);
+  return h;
+}
+
+/// Under which engines a lane's live-coherency-point count is guaranteed
+/// equal to the solo run's. Sync is lockstep (the lane's trajectory IS the
+/// solo trajectory, superstep by superstep) and lazy-vertex inspects only
+/// the terminal quiescent state (count is 0-or-1 on both sides). The other
+/// engines schedule Stage-1 budgets / GS rounds off *union* activity, so a
+/// lane may stay live for a different number of points than it would alone —
+/// converged state stays bit-identical, the schedule does not.
+inline bool points_must_match(engine::EngineKind kind) {
+  return kind == engine::EngineKind::kSync ||
+         kind == engine::EngineKind::kLazyVertex;
+}
+
+/// Compares one lane of a batched outcome against the solo run of the same
+/// query. Returns a description of the first divergence, or nullopt when
+/// the lane upholds the contract. `slack` applies to fp families only
+/// (pass 0 to demand bit-identity); `check_points` additionally requires
+/// equal live-coherency-point counts (see points_must_match).
+template <engine::VertexProgram P>
+std::optional<std::string> verify_lane(const LaneOutcome<P>& lane,
+                                       const BatchOutcome<P>& solo,
+                                       double slack, bool check_points) {
+  const auto& ref = solo.lanes[0];
+  if (lane.data.size() != ref.data.size()) {
+    return "lane/solo vertex count mismatch";
+  }
+  for (std::size_t g = 0; g < ref.data.size(); ++g) {
+    if (!lane_eq(lane.data[g], ref.data[g], slack)) {
+      return "lane state diverges from solo run at vertex " +
+             std::to_string(g);
+    }
+  }
+  if (check_points && lane.live_points != ref.live_points) {
+    return "lane live coherency points " + std::to_string(lane.live_points) +
+           " != solo " + std::to_string(ref.live_points);
+  }
+  return std::nullopt;
+}
+
+}  // namespace lazygraph::serve

@@ -37,6 +37,8 @@ constexpr struct {
     {SpanKind::kBuild, "build"},
     {SpanKind::kPlanLower, "plan_lower"},
     {SpanKind::kPlanCarry, "plan_carry"},
+    {SpanKind::kServeQueue, "serve_queue"},
+    {SpanKind::kServeQuery, "serve_query"},
 };
 
 std::string mode_name(int mode) {

@@ -53,6 +53,12 @@ enum class SpanKind : std::uint8_t {
   kPlanLower,          // one lowered engine-run group (items = fused stages,
                        // cache_hit = stage-outcome reused without running)
   kPlanCarry,          // carried-frontier injection (items = frontier size)
+  // Serving kinds (also SetupSpan-only): the query server's per-query
+  // timeline on the virtual clock (see src/serve/).
+  kServeQueue,         // admission wait: arrival -> batch dispatch
+                       // (items = batch id the query was packed into)
+  kServeQuery,         // service: dispatch -> batch completion
+                       // (items = lane index within the batch)
 };
 
 const char* to_string(SpanKind k);

@@ -22,6 +22,8 @@
 #include "partition/edge_splitter.hpp"
 #include "plan/executor.hpp"
 #include "plan/pipeline.hpp"
+#include "serve/executor.hpp"
+#include "serve/verify.hpp"
 #include "sim/cluster.hpp"
 #include "util/rng.hpp"
 
@@ -532,7 +534,182 @@ std::optional<std::string> first_stage_vs_reference(
   return std::nullopt;
 }
 
+/// Engines the batch check covers: the eager lockstep baseline plus both
+/// lazy engines. (Plain async inspects coherency like sync but interleaves
+/// GS rounds off union activity; it is exercised by the server tests, while
+/// the fuzz matrix keeps to the three engines with per-lane guarantees.)
+constexpr EngineKind kBatchEngines[] = {
+    EngineKind::kSync, EngineKind::kLazyBlock, EngineKind::kLazyVertex};
+
+/// Batched-vs-solo differential check for one lane program family.
+/// `lazy_slack` bounds fp divergence under the lazy engines (0 = bit-exact
+/// everywhere, the rule for every integer / semilattice family).
+template <class P>
+std::optional<std::string> run_batch_program(const Scenario& s,
+                                             const OracleOptions& o,
+                                             const Graph& g,
+                                             const std::vector<P>& progs,
+                                             double lazy_slack) {
+  partition::ArtifactCache& cache = partition::ArtifactCache::global();
+  const partition::PartitionOptions popts{.kind = s.cut,
+                                          .seed = s.partition_seed};
+  const auto dg_plain_p =
+      cache.dgraph(g, s.machines, popts, {.enabled = false});
+  std::shared_ptr<const partition::DistributedGraph> dg_split_p;
+  if (s.split) {
+    partition::EdgeSplitterOptions eso;
+    eso.t_extra = 0.001;
+    dg_split_p = cache.dgraph(g, s.machines, popts, eso);
+  }
+
+  for (const EngineKind kind : kBatchEngines) {
+    const auto& dg =
+        is_lazy(kind) && dg_split_p ? *dg_split_p : *dg_plain_p;
+    serve::BatchRunOptions bo;
+    bo.kind = kind;
+    bo.max_supersteps = o.max_supersteps;
+    bo.threads_per_machine = s.threads_per_machine;
+    bo.interval.policy = s.interval_policy;
+    bo.comm_policy = s.comm_policy;
+    bo.staleness = s.staleness;
+    const std::string tag =
+        std::string(engine::to_string(kind)) + " (batch): ";
+
+    auto run_batch = [&](std::size_t threads) {
+      sim::Cluster cluster({s.machines, {}, threads});
+      return serve::run_batched(dg, progs, bo, cluster);
+    };
+    const auto batched = run_batch(1);
+    if (!batched.converged) {
+      return tag + "batched run did not converge within " +
+             std::to_string(o.max_supersteps) + " supersteps";
+    }
+    const double slack = is_lazy(kind) ? lazy_slack : 0.0;
+    const bool check_points = serve::points_must_match(kind);
+    for (std::size_t i = 0; i < progs.size(); ++i) {
+      sim::Cluster solo_cluster({s.machines, {}, 1});
+      const auto solo = serve::run_solo(dg, progs[i], bo, solo_cluster);
+      if (!solo.converged) {
+        return tag + "solo run of lane " + std::to_string(i) +
+               " did not converge";
+      }
+      if (auto f =
+              serve::verify_lane(batched.lanes[i], solo, slack, check_points)) {
+        return tag + "lane " + std::to_string(i) + ": " + *f;
+      }
+    }
+
+    if (o.check_determinism) {
+      struct Rerun {
+        const char* what;
+        std::size_t threads;
+      };
+      for (const Rerun r :
+           {Rerun{"repeated batched run", 1}, Rerun{"2-thread batched run", 2}}) {
+        const auto again = run_batch(r.threads);
+        std::string why;
+        if (again.supersteps != batched.supersteps) {
+          why = "superstep count";
+        } else if (again.coherency_points != batched.coherency_points) {
+          why = "coherency point count";
+        } else {
+          for (std::size_t i = 0; i < progs.size(); ++i) {
+            if (serve::lane_digest(again.lanes[i].data) !=
+                    serve::lane_digest(batched.lanes[i].data) ||
+                again.lanes[i].live_points != batched.lanes[i].live_points) {
+              why = "lane " + std::to_string(i);
+              break;
+            }
+          }
+        }
+        if (!why.empty()) {
+          return tag + std::string(r.what) + " not bit-identical (" + why +
+                 ")";
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
+
+Verdict check_batch_scenario(const Scenario& s, const OracleOptions& opts) {
+  try {
+    if (!s.has_batch()) return {false, "batch scenario: no batch lanes"};
+    if (s.has_pipeline()) {
+      return {false, "batch scenario: pipelines do not take batch lanes"};
+    }
+    if (s.machines == 0 || s.machines > 64) {
+      return {false, "scenario: machine count out of range"};
+    }
+    if (!s.needs_source() && s.program != ProgramKind::kKcore) {
+      return {false, "batch scenario: program has no per-query parameter"};
+    }
+    std::vector<std::uint32_t> lanes = s.batch_lanes();
+    lanes.insert(lanes.begin(), s.program == ProgramKind::kKcore
+                                    ? s.kcore_k
+                                    : static_cast<std::uint32_t>(s.source));
+    if (lanes.size() > serve::kMaxBatchLanes) {
+      return {false, "batch scenario: more than 16 lanes"};
+    }
+    if (s.needs_source()) {
+      // The shrinker may delete vertices out from under a lane source;
+      // treat that as vacuously passing so such shrink steps are rejected.
+      if (s.num_vertices == 0) return {};
+      for (const std::uint32_t src : lanes) {
+        if (src >= s.num_vertices) return {};
+      }
+    }
+    const Graph g = s.build_graph();
+    std::optional<std::string> f;
+    switch (s.program) {
+      case ProgramKind::kSssp: {
+        std::vector<algos::SSSP> progs;
+        for (const std::uint32_t src : lanes) progs.push_back({.source = src});
+        f = run_batch_program(s, opts, g, progs, 0.0);
+        break;
+      }
+      case ProgramKind::kBfs: {
+        std::vector<algos::BFS> progs;
+        for (const std::uint32_t src : lanes) progs.push_back({.source = src});
+        f = run_batch_program(s, opts, g, progs, 0.0);
+        break;
+      }
+      case ProgramKind::kWidestPath: {
+        std::vector<algos::WidestPath> progs;
+        for (const std::uint32_t src : lanes) progs.push_back({.source = src});
+        f = run_batch_program(s, opts, g, progs, 0.0);
+        break;
+      }
+      case ProgramKind::kKcore: {
+        std::vector<algos::KCore> progs;
+        for (const std::uint32_t k : lanes) progs.push_back({.k = k});
+        f = run_batch_program(s, opts, g, progs, 0.0);
+        break;
+      }
+      case ProgramKind::kDiffusion: {
+        std::vector<algos::LinearDiffusion> progs;
+        for (const std::uint32_t src : lanes) {
+          progs.push_back(
+              {.alpha = s.alpha, .seed = src, .tol = s.tol});
+        }
+        // Same fp-reassociation headroom the plain oracle grants replica
+        // views: retained deltas amplify by 1/(1-alpha) through the linear
+        // fixpoint.
+        f = run_batch_program(s, opts, g, progs,
+                              100.0 * s.tol / (1.0 - s.alpha));
+        break;
+      }
+      default:
+        return {false, "batch scenario: unsupported program"};
+    }
+    if (f) return {false, *f};
+    return {};
+  } catch (const std::exception& e) {
+    return {false, std::string("exception: ") + e.what()};
+  }
+}
 
 Verdict check_pipeline_scenario(const Scenario& s, const OracleOptions& opts) {
   try {
@@ -688,6 +865,7 @@ Verdict check_pipeline_scenario(const Scenario& s, const OracleOptions& opts) {
 
 Verdict check_scenario(const Scenario& s, const OracleOptions& opts) {
   if (s.has_pipeline()) return check_pipeline_scenario(s, opts);
+  if (s.has_batch()) return check_batch_scenario(s, opts);
   try {
     if (s.needs_source() &&
         (s.num_vertices == 0 || s.source >= s.num_vertices)) {

@@ -80,4 +80,20 @@ Verdict check_failure_scenario(const Scenario& s,
 Verdict check_pipeline_scenario(const Scenario& s,
                                 const OracleOptions& opts = {});
 
+/// The serving-layer oracle, used by check_scenario whenever
+/// Scenario::has_batch(). Packs the scenario's query (lane 0) plus every
+/// extra lane from Scenario::batch into one batched multi-source engine run
+/// (serve::run_batched) and requires, on each of {sync, lazy-block,
+/// lazy-vertex}:
+///
+///   1. every lane's converged state is bit-identical to the solo run of
+///      the same query through the identical engine-construction path
+///      (bounded only for diffusion under the lazy engines, matching the
+///      replica-view slack the plain oracle grants fp reassociation);
+///   2. per-lane live-coherency-point counts equal the solo run's wherever
+///      the engine guarantees the schedule (serve::points_must_match);
+///   3. the batched run reproduces bit-identically when repeated and under
+///      a two-thread cluster (digests, trajectory, per-lane liveness).
+Verdict check_batch_scenario(const Scenario& s, const OracleOptions& opts = {});
+
 }  // namespace lazygraph::testing

@@ -68,6 +68,42 @@ engine::CommModePolicy comm_from_string(const std::string& s) {
 
 }  // namespace
 
+std::vector<std::uint32_t> Scenario::batch_lanes() const {
+  std::vector<std::uint32_t> lanes;
+  if (batch.empty()) return lanes;
+  std::istringstream is(batch);
+  std::string tok;
+  while (std::getline(is, tok, ',')) {
+    // Digits only: stoul's sign/whitespace leniency must not leak into the
+    // canonical text form.
+    const bool digits =
+        !tok.empty() && tok.find_first_not_of("0123456789") == std::string::npos;
+    unsigned long v = 0;
+    try {
+      if (digits) v = std::stoul(tok);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("batch lane out of range: '" + tok + "'");
+    }
+    if (!digits || v > 0xffffffffUL) {
+      throw std::invalid_argument("malformed batch lane: '" + tok + "'");
+    }
+    lanes.push_back(static_cast<std::uint32_t>(v));
+  }
+  if (lanes.empty()) {
+    throw std::invalid_argument("malformed batch list: '" + batch + "'");
+  }
+  return lanes;
+}
+
+std::string Scenario::join_lanes(const std::vector<std::uint32_t>& lanes) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    if (i) os << ',';
+    os << lanes[i];
+  }
+  return os.str();
+}
+
 bool Scenario::needs_source() const {
   switch (program) {
     case ProgramKind::kSssp:
@@ -107,13 +143,14 @@ std::string Scenario::summary() const {
     os << " pipeline=" << pipeline << " plan_engine=" << plan_engine;
   }
   if (has_failures()) os << " kill=" << kill;
+  if (has_batch()) os << " batch=" << batch;
   return os.str();
 }
 
 void Scenario::to_text(std::ostream& os) const {
   // %.17g round-trips every finite double exactly.
   char buf[64];
-  os << "lazygraph-scenario v4\n";
+  os << "lazygraph-scenario v5\n";
   os << "seed " << seed << "\n";
   os << "vertices " << num_vertices << "\n";
   os << "machines " << machines << "\n";
@@ -139,6 +176,9 @@ void Scenario::to_text(std::ostream& os) const {
   // Failure-plan text ("m@k[:r]", comma-joined) is space-free by
   // construction; "-" is the explicit "no failures" sentinel.
   os << "kill " << (kill.empty() ? "-" : kill) << "\n";
+  // Batch lanes are a comma-joined integer list (space-free); "-" is the
+  // explicit "no batch" sentinel.
+  os << "batch " << (batch.empty() ? "-" : batch) << "\n";
   os << "edges " << edges.size() << "\n";
   for (const Edge& e : edges) {
     std::snprintf(buf, sizeof buf, "%.9g", static_cast<double>(e.weight));
@@ -159,9 +199,9 @@ Scenario Scenario::from_text(std::istream& is) {
   std::string line;
   if (!std::getline(is, line)) fail("missing scenario header");
   // v1 dumps predate the threads_per_machine key, v2 dumps predate the
-  // pipeline keys, and v3 dumps predate the kill key; all parse with the
-  // defaults (tpm=1, no pipeline, no failures), so old corpus files stay
-  // replayable bit-for-bit.
+  // pipeline keys, v3 dumps predate the kill key, and v4 dumps predate the
+  // batch key; all parse with the defaults (tpm=1, no pipeline, no
+  // failures, no batch), so old corpus files stay replayable bit-for-bit.
   int version = 0;
   if (line == "lazygraph-scenario v1") {
     version = 1;
@@ -171,8 +211,10 @@ Scenario Scenario::from_text(std::istream& is) {
     version = 3;
   } else if (line == "lazygraph-scenario v4") {
     version = 4;
+  } else if (line == "lazygraph-scenario v5") {
+    version = 5;
   } else {
-    fail("missing 'lazygraph-scenario v1|v2|v3|v4' header");
+    fail("missing 'lazygraph-scenario v1|v2|v3|v4|v5' header");
   }
   Scenario s;
   auto expect_key = [&](const std::string& key) -> std::string {
@@ -210,6 +252,15 @@ Scenario Scenario::from_text(std::istream& is) {
     const std::string k = expect_key("kill");
     if (k != "-") {
       s.kill = sim::FailurePlan::parse(k).to_string();  // validates
+    }
+  }
+  if (version >= 5) {
+    const std::string b = expect_key("batch");
+    if (b != "-") {
+      s.batch = b;
+      const auto lanes = s.batch_lanes();  // validates; throws
+      if (lanes.size() + 1 > 16) fail("more than 16 batch lanes");
+      s.batch = join_lanes(lanes);  // canonical form
     }
   }
   const std::uint64_t num_edges = std::stoull(expect_key("edges"));
@@ -394,6 +445,28 @@ Scenario make_scenario(std::uint64_t corpus_seed, std::uint64_t index) {
   // across stages, so a per-run failure plan would re-fire every stage.
   if (!s.has_pipeline() && rng.below(4) == 0) {
     s.kill = sim::FailurePlan::draw(rng(), s.machines).to_string();
+  }
+
+  // --- serving-layer batch lanes ---
+  // Drawn after the kill, keeping earlier fields of pre-existing corpus
+  // seeds unchanged. About a quarter of eligible scenarios (per-query
+  // parameterized program, no pipeline, no kill) add 1-3 extra lanes; the
+  // oracle then packs all lanes into one batched engine run and checks each
+  // against its solo run instead of the four-engine differential matrix.
+  const bool batchable =
+      (s.needs_source() || s.program == ProgramKind::kKcore) &&
+      s.num_vertices > 0;
+  if (batchable && !s.has_pipeline() && !s.has_failures() &&
+      rng.below(4) == 0) {
+    std::vector<std::uint32_t> lanes;
+    const int extra = static_cast<int>(rng.range(1, 3));
+    for (int i = 0; i < extra; ++i) {
+      lanes.push_back(s.program == ProgramKind::kKcore
+                          ? static_cast<std::uint32_t>(rng.range(1, 5))
+                          : static_cast<std::uint32_t>(
+                                rng.below(s.num_vertices)));
+    }
+    s.batch = Scenario::join_lanes(lanes);
   }
   return s;
 }

@@ -88,8 +88,25 @@ struct Scenario {
   /// the failure-free run. Empty means no failures (the v1-v3 behaviour).
   std::string kill;
 
+  // --- serving layer (batched lanes) ---
+  /// When non-empty, comma-joined extra lane parameters for the serving
+  /// layer's batched-run check (check_batch_scenario): sources for the
+  /// source programs, thresholds for k-core. The scenario's own source /
+  /// kcore_k is always lane 0; each listed value adds one more lane. The
+  /// oracle packs all lanes into one batched engine run and requires every
+  /// lane to match its solo run bit-for-bit. Empty means no batch check
+  /// (the v1-v4 behaviour).
+  std::string batch;
+
   bool has_pipeline() const { return !pipeline.empty(); }
   bool has_failures() const { return !kill.empty(); }
+  bool has_batch() const { return !batch.empty(); }
+
+  /// Parses `batch` into the extra lane parameters (empty when no batch).
+  /// Throws std::invalid_argument on malformed text.
+  std::vector<std::uint32_t> batch_lanes() const;
+  /// Inverse of batch_lanes: canonical comma-joined form for Scenario::batch.
+  static std::string join_lanes(const std::vector<std::uint32_t>& lanes);
 
   bool operator==(const Scenario&) const = default;
 

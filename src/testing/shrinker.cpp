@@ -14,6 +14,14 @@ Scenario compact_vertices(const Scenario& s) {
   std::vector<char> used(s.num_vertices, 0);
   for (const Edge& e : s.edges) used[e.src] = used[e.dst] = 1;
   if (s.needs_source() && s.source < s.num_vertices) used[s.source] = 1;
+  // Batch lanes of source programs are vertex ids too; keep them resident
+  // so the batch check stays non-vacuous through the compaction. (K-core
+  // lanes are thresholds, not vertices — left untouched.)
+  if (s.has_batch() && s.needs_source()) {
+    for (const std::uint32_t src : s.batch_lanes()) {
+      if (src < s.num_vertices) used[src] = 1;
+    }
+  }
   std::vector<vid_t> remap(s.num_vertices, 0);
   vid_t next = 0;
   for (vid_t v = 0; v < s.num_vertices; ++v) {
@@ -31,6 +39,13 @@ Scenario compact_vertices(const Scenario& s) {
     out.source = remap[s.source];
   } else {
     out.source = 0;
+  }
+  if (s.has_batch() && s.needs_source()) {
+    auto lanes = s.batch_lanes();
+    for (std::uint32_t& src : lanes) {
+      src = src < s.num_vertices ? remap[src] : 0;
+    }
+    out.batch = Scenario::join_lanes(lanes);
   }
   return out;
 }
@@ -52,6 +67,7 @@ class Shrinker {
       improved |= shrink_machines();
       improved |= shrink_edges();
       improved |= shrink_vertices();
+      improved |= shrink_batch_lanes();
       improved |= simplify_knobs();
     }
     return report_;
@@ -129,6 +145,13 @@ class Shrinker {
                     [&](const Edge& e) { return e.src >= keep || e.dst >= keep; });
       c.num_vertices = keep;
       if (c.needs_source() && c.source >= keep) c.source = 0;
+      if (c.has_batch() && c.needs_source()) {
+        auto lanes = c.batch_lanes();
+        for (std::uint32_t& src : lanes) {
+          if (src >= keep) src = 0;
+        }
+        c.batch = Scenario::join_lanes(lanes);
+      }
       if (!try_accept(std::move(c))) break;
       improved = true;
     }
@@ -136,6 +159,31 @@ class Shrinker {
   }
 
   bool improved_if(Scenario cand) { return try_accept(std::move(cand)); }
+
+  /// Drops extra batch lanes one at a time (down to a single extra lane;
+  /// dropping the batch entirely is a simplify_knobs step, so "needs any
+  /// batching at all" and "needs this many lanes" shrink separately).
+  bool shrink_batch_lanes() {
+    bool improved = false;
+    for (;;) {
+      if (!report_.scenario.has_batch() || !budget_left()) break;
+      const auto lanes = report_.scenario.batch_lanes();
+      if (lanes.size() <= 1) break;
+      bool step = false;
+      for (std::size_t i = 0; i < lanes.size() && budget_left(); ++i) {
+        auto cand = lanes;
+        cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(i));
+        Scenario c = report_.scenario;
+        c.batch = Scenario::join_lanes(cand);
+        if (try_accept(std::move(c))) {
+          step = improved = true;
+          break;
+        }
+      }
+      if (!step) break;
+    }
+    return improved;
+  }
 
   /// Resets every remaining knob to its canonical default, one at a time.
   bool simplify_knobs() {
@@ -146,6 +194,11 @@ class Shrinker {
       member(c);
       if (try_accept(std::move(c))) improved = true;
     };
+    if (report_.scenario.has_batch()) {
+      // Dropping the batch first separates "the bug needs batched lanes"
+      // from "the scenario fails anyway" in one attempt.
+      try_knob([](Scenario& c) { c.batch.clear(); });
+    }
     if (report_.scenario.has_failures()) {
       // Dropping the failure plan first separates "the bug needs the kill"
       // from "the scenario fails anyway" in one attempt.

@@ -1,8 +1,8 @@
-// Scenario text back-compat: v1/v2/v3 dumps (which predate the
-// threads_per_machine, pipeline, and kill keys respectively) must parse
-// with defaults, re-serialize as current-version text, and shrink
-// correctly. Guards the `kill` key scenario text v4 added for failure
-// plans.
+// Scenario text back-compat: v1/v2/v3/v4 dumps (which predate the
+// threads_per_machine, pipeline, kill, and batch keys respectively) must
+// parse with defaults, re-serialize as current-version text, and shrink
+// correctly. Guards the `batch` key scenario text v5 added for the
+// serving-layer batched-lane check.
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -48,6 +48,9 @@ std::string emit_at_version(const Scenario& s, int version) {
   if (version >= 4) {
     os << "kill " << (s.kill.empty() ? "-" : s.kill) << "\n";
   }
+  if (version >= 5) {
+    os << "batch " << (s.batch.empty() ? "-" : s.batch) << "\n";
+  }
   os << "edges " << s.edges.size() << "\n";
   for (const Edge& e : s.edges) {
     std::snprintf(buf, sizeof buf, "%.9g", static_cast<double>(e.weight));
@@ -65,6 +68,7 @@ Scenario at_version_defaults(Scenario s, int version) {
     s.plan_engine = d.plan_engine;
   }
   if (version < 4) s.kill = d.kill;
+  if (version < 5) s.batch = d.batch;
   return s;
 }
 
@@ -74,7 +78,7 @@ Scenario at_version_defaults(Scenario s, int version) {
 TEST(ScenarioCompat, AllVersionsParseDefaultAndRoundTrip) {
   for (std::uint64_t i = 0; i < 60; ++i) {
     const Scenario s = make_scenario(20260808, i);
-    for (int version = 1; version <= 4; ++version) {
+    for (int version = 1; version <= 5; ++version) {
       const Scenario parsed = Scenario::from_text(emit_at_version(s, version));
       EXPECT_EQ(parsed, at_version_defaults(s, version))
           << "scenario " << i << " v" << version;
@@ -85,9 +89,9 @@ TEST(ScenarioCompat, AllVersionsParseDefaultAndRoundTrip) {
   }
 }
 
-TEST(ScenarioCompat, CurrentWriterEmitsV4) {
+TEST(ScenarioCompat, CurrentWriterEmitsV5) {
   const Scenario s = make_scenario(1, 0);
-  EXPECT_EQ(s.to_text().substr(0, 22), "lazygraph-scenario v4\n");
+  EXPECT_EQ(s.to_text().substr(0, 22), "lazygraph-scenario v5\n");
 }
 
 TEST(ScenarioCompat, KillKeyRoundTripsAndDashMeansNone) {
@@ -120,8 +124,101 @@ TEST(ScenarioCompat, MalformedKillRejected) {
 TEST(ScenarioCompat, UnknownHeaderRejected) {
   const Scenario s = make_scenario(7, 3);
   std::string text = s.to_text();
-  text.replace(0, 21, "lazygraph-scenario v5");
+  text.replace(0, 21, "lazygraph-scenario v6");
   EXPECT_THROW(Scenario::from_text(text), std::invalid_argument);
+}
+
+TEST(ScenarioCompat, BatchKeyRoundTripsAndDashMeansNone) {
+  Scenario s = make_scenario(7, 3);
+  s.pipeline.clear();
+  s.kill.clear();
+  s.program = ProgramKind::kSssp;
+  if (s.num_vertices == 0) s.num_vertices = 4;
+  s.batch = "1,0,3";
+  const Scenario parsed = Scenario::from_text(s.to_text());
+  EXPECT_EQ(parsed.batch, "1,0,3");
+  EXPECT_TRUE(parsed.has_batch());
+  EXPECT_EQ(parsed.batch_lanes(), (std::vector<std::uint32_t>{1, 0, 3}));
+
+  s.batch.clear();
+  const std::string text = s.to_text();
+  EXPECT_NE(text.find("\nbatch -\n"), std::string::npos);
+  EXPECT_FALSE(Scenario::from_text(text).has_batch());
+}
+
+TEST(ScenarioCompat, MalformedBatchRejected) {
+  Scenario s = make_scenario(7, 3);
+  s.batch.clear();
+  for (const char* bad : {"nonsense", "1,,2", "1,x", ",1", "-3",
+                          "1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16"}) {
+    std::string text = s.to_text();
+    const std::string needle = "\nbatch -\n";
+    const auto pos = text.find(needle);
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, needle.size(), std::string("\nbatch ") + bad + "\n");
+    EXPECT_THROW(Scenario::from_text(text), std::invalid_argument) << bad;
+  }
+}
+
+// Generator sanity for the v5 draw: batch lanes appear at roughly 1-in-4 on
+// eligible scenarios (per-query parameterized program, no pipeline, no
+// kill), never elsewhere, and every drawn lane is in range.
+TEST(ScenarioCompat, GeneratorDrawsValidBatchLanes) {
+  int with_batch = 0, eligible = 0;
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    const Scenario s = make_scenario(99, i);
+    const bool batchable =
+        (s.needs_source() || s.program == ProgramKind::kKcore) &&
+        s.num_vertices > 0;
+    if (s.has_pipeline() || s.has_failures() || !batchable) {
+      EXPECT_FALSE(s.has_batch()) << i;
+      continue;
+    }
+    ++eligible;
+    if (!s.has_batch()) continue;
+    ++with_batch;
+    const auto lanes = s.batch_lanes();
+    EXPECT_EQ(Scenario::join_lanes(lanes), s.batch) << i;  // canonical form
+    EXPECT_GE(lanes.size(), 1u) << i;
+    EXPECT_LE(lanes.size(), 3u) << i;
+    for (const std::uint32_t lane : lanes) {
+      if (s.program == ProgramKind::kKcore) {
+        EXPECT_GE(lane, 1u) << i;
+        EXPECT_LE(lane, 5u) << i;
+      } else {
+        EXPECT_LT(lane, s.num_vertices) << i;
+      }
+    }
+  }
+  EXPECT_GT(with_batch, eligible / 8);
+  EXPECT_LT(with_batch, eligible / 2);
+}
+
+// Shrinker integration for batch lanes: an indifferent predicate drops the
+// batch; a predicate that needs it keeps at least one lane; lane sources
+// survive vertex compaction (remapped, still in range).
+TEST(ScenarioCompat, ShrinkerDropsOrKeepsBatch) {
+  Scenario s = make_scenario(11, 5);
+  s.pipeline.clear();
+  s.kill.clear();
+  s.program = ProgramKind::kSssp;
+  if (s.num_vertices < 8) s.num_vertices = 8;
+  s.batch = "3,5,7";
+
+  const auto indifferent = [](const Scenario& c) { return c.machines >= 1; };
+  const ShrinkReport dropped = shrink(s, indifferent, 500);
+  EXPECT_FALSE(dropped.scenario.has_batch());
+
+  const auto needs_two = [](const Scenario& c) {
+    return c.has_batch() && c.batch_lanes().size() >= 2;
+  };
+  const ShrinkReport kept = shrink(s, needs_two, 500);
+  ASSERT_TRUE(kept.scenario.has_batch());
+  EXPECT_EQ(kept.scenario.batch_lanes().size(), 2u);
+  for (const std::uint32_t lane : kept.scenario.batch_lanes()) {
+    EXPECT_LT(lane, kept.scenario.num_vertices);
+  }
+  EXPECT_EQ(Scenario::from_text(kept.scenario.to_text()), kept.scenario);
 }
 
 // Generator sanity for the v4 draw: failure plans appear at roughly 1-in-4
