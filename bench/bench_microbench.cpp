@@ -122,6 +122,42 @@ BENCHMARK(BM_SweepScaling)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// The exchange-codec cell (rides in BENCH_sweep.json next to the sweep
+// cell): a full lazy-block pagerank run at 8 machines, arg = the
+// coordinated (0) vs hybrid (1) cut. The counters pin both sides of the
+// wire codec — exchange_MB_raw is the uncompressed-fallback volume of the
+// same records the delta-varint codec actually shipped (exchange_MB_wire,
+// what comm time is priced on) — plus the peak slab footprint. Acceptance
+// (gated as a shape check): wire strictly below raw on every row.
+void BM_ExchangeCodec(benchmark::State& state) {
+  const auto cut = state.range(0) != 0 ? partition::CutKind::kHybrid
+                                       : partition::CutKind::kCoordinated;
+  const Graph& g = test_graph();
+  const machine_t machines = 8;
+  const auto assignment = partition::assign_edges(g, machines, {cut, 1});
+  const auto dg = partition::DistributedGraph::build(g, machines, assignment);
+  sim::SimMetrics last;
+  std::uint64_t supersteps = 0;
+  for (auto _ : state) {
+    sim::Cluster cluster({machines, {}, 0});
+    const auto r = engine::run({.kind = engine::EngineKind::kLazyBlock,
+                                .graph_ev_ratio = g.edge_vertex_ratio()},
+                               dg, algos::PageRankDelta{}, cluster);
+    benchmark::DoNotOptimize(r);
+    last = r.metrics;
+    supersteps = r.supersteps;
+  }
+  const double mb = 1024.0 * 1024.0;
+  state.counters["sim_seconds"] = last.sim_seconds();
+  state.counters["supersteps"] = static_cast<double>(supersteps);
+  state.counters["exchange_MB_raw"] =
+      static_cast<double>(last.exchange_bytes_raw) / mb;
+  state.counters["exchange_MB_wire"] =
+      static_cast<double>(last.exchange_bytes_wire) / mb;
+  state.counters["state_MB"] = static_cast<double>(last.state_bytes) / mb;
+}
+BENCHMARK(BM_ExchangeCodec)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 // The ingest-scaling cell (CI uploads its JSON as BENCH_build.json): the
 // whole setup pipeline — parse an edge-list, hybrid-cut it, compute the
 // replication factor, and build the distributed graph — on the largest

@@ -66,7 +66,10 @@ class AsyncEngine {
       ++cluster_.metrics().supersteps;
       ++result.supersteps;
       bool any = false;
-      std::uint64_t msgs = 0, bytes = 0, applies = 0;
+      // Fine-grained traffic truly is per-message (no batch to compress), so
+      // each send is charged as a one-record wire frame alongside the
+      // uncompressed-fallback raw size.
+      std::uint64_t msgs = 0, bytes = 0, wire = 0, applies = 0;
       std::fill(work.begin(), work.end(), 0);
 
       // Round-start worklists: every flagged replica routes its master's
@@ -139,6 +142,8 @@ class AsyncEngine {
             work[r] += dg_.part(r).local_in_degree[rl];
             ++msgs;
             bytes += wire_bytes<typename P::Msg>();
+            wire += wire::single_record_bytes(part.gids[v],
+                                              sizeof(typename P::Msg));
             if (!rs.has_msg[rl]) continue;
             acc = first ? rs.msg[rl] : prog_.sum(acc, rs.msg[rl]);
             first = false;
@@ -154,6 +159,8 @@ class AsyncEngine {
             states_[r].vdata[rl] = s.vdata[v];
             ++msgs;
             bytes += wire_bytes<typename P::VData>();
+            wire += wire::single_record_bytes(part.gids[v],
+                                              sizeof(typename P::VData));
           }
           if (!payload) continue;
 
@@ -191,7 +198,8 @@ class AsyncEngine {
 
       cluster_.metrics().applies += applies;
       cluster_.charge_compute(sim::SpanKind::kAsyncRound, work);
-      cluster_.charge_fine_grained(sim::SpanKind::kFineGrained, bytes, msgs);
+      cluster_.charge_fine_grained(sim::SpanKind::kFineGrained, bytes, wire,
+                                   msgs);
       if (sim::Tracer* t = cluster_.tracer()) {
         t->record_superstep({.superstep = result.supersteps,
                             .active_vertices = applies});

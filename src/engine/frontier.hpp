@@ -41,9 +41,15 @@ class Frontier {
     n_ = n;
     threshold_ = std::max<std::size_t>(64, static_cast<std::size_t>(n) / 8);
     list_.clear();
+    // The list never exceeds the threshold (the crossing add flips dense
+    // instead), so this one reserve makes every later add allocation-free.
+    list_.reserve(threshold_);
     dense_ = false;
     tracking_ = true;
   }
+
+  /// Hard capacity bound of the sparse list (the density threshold).
+  std::size_t sparse_capacity() const { return threshold_; }
 
   /// Turns activation tracking off (and drops any recorded state): engines
   /// with their own worklists (LazyVertexAsync's queues) disable the message
@@ -98,9 +104,8 @@ class Frontier {
   /// entry walk when sparse. Sparse duplicates reach fn once per live entry —
   /// callers dedup downstream where that matters. Returns the number of
   /// candidate slots examined (the "scan work" SweepCounters report).
-  template <class Fn>
-  std::size_t for_each_flagged(const std::vector<std::uint8_t>& flags,
-                               Fn&& fn) const {
+  template <class Flags, class Fn>
+  std::size_t for_each_flagged(const Flags& flags, Fn&& fn) const {
     if (dense_ || !tracking_) {
       for (lvid_t v = 0; v < n_; ++v) {
         if (flags[v]) fn(v);

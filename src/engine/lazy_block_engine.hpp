@@ -75,6 +75,25 @@ class LazyBlockAsyncEngine {
         init_lazy_messages(prog_, dg_, states_, opts_.init);
     exch_pending_.assign(p, {});
     exch_fresh_.assign(p, {});
+    // Reserve the pooled exchange scratch to its structural worst case —
+    // every replica of every spanning master flagged in one exchange — so
+    // steady-state coherency points never grow these buffers (the alloc
+    // probe asserts supersteps allocate nothing after warmup).
+    for (machine_t m = 0; m < p; ++m) {
+      const partition::Part& part = dg_.part(m);
+      std::uint64_t replicas = 0;
+      for (lvid_t v = 0; v < part.num_local(); ++v) {
+        if (part.master[v] == m) replicas += 1 + part.remote_replicas[v].size();
+      }
+      exch_pending_[m].reserve(replicas);
+      exch_fresh_[m].reserve(replicas);
+    }
+    exch_est_a2a_.assign(p, 0);
+    exch_est_m2m_.assign(p, 0);
+    exch_msgs_.assign(p, 0);
+    exch_bytes_.assign(p, 0);
+    exch_up_coders_.assign(std::size_t{p} * p, {});
+    exch_down_coders_.assign(std::size_t{p} * p, {});
     const SweepExec exec{&cluster_, opts_.threads_per_machine};
     recovery::Recoverer<P> recoverer(cluster_, dg_);
 
@@ -242,8 +261,14 @@ class LazyBlockAsyncEngine {
       l.erase(std::unique(l.begin(), l.end()), l.end());
     });
 
-    // Pass 1: volume estimates (read-only).
-    std::vector<std::uint64_t> est_a2a(p, 0), est_m2m(p, 0);
+    // Pass 1: volume estimates (read-only). Deliberately computed on the
+    // UNCOMPRESSED per-record size: the paper's fitted cost curves were
+    // calibrated against raw volumes, and keeping the mode decision on raw
+    // bytes bounds how much the codec perturbs the trajectory.
+    auto& est_a2a = exch_est_a2a_;
+    auto& est_m2m = exch_est_m2m_;
+    std::fill(est_a2a.begin(), est_a2a.end(), 0);
+    std::fill(est_m2m.begin(), est_m2m.end(), 0);
     cluster_.parallel_machines([&](machine_t m) {
       const partition::Part& part = dg_.part(m);
       for (const lvid_t v : exch_pending_[m]) {
@@ -268,7 +293,12 @@ class LazyBlockAsyncEngine {
     const sim::CommMode mode = decision.mode;
 
     // Pass 2: deliver and clear.
-    std::vector<std::uint64_t> msgs(p, 0), bytes(p, 0);
+    auto& msgs = exch_msgs_;
+    auto& bytes = exch_bytes_;
+    std::fill(msgs.begin(), msgs.end(), 0);
+    std::fill(bytes.begin(), bytes.end(), 0);
+    for (auto& c : exch_up_coders_) c.reset();
+    for (auto& c : exch_down_coders_) c.reset();
     for (auto& f : exch_fresh_) f.clear();
     cluster_.parallel_machines([&](machine_t m) {
       const partition::Part& part = dg_.part(m);
@@ -302,6 +332,38 @@ class LazyBlockAsyncEngine {
         }
         if (!self_done) fold(m, v);
         if (nd == 0) continue;  // stale worklist entry
+
+        // Wire-codec accounting BEFORE delivery clears the flags: per
+        // machine-pair streams of strictly ascending gids (v ascends within
+        // this coordinator's worklist). a2a: each contributor's record body
+        // is relayed to all rnum-1 other replicas (copies); m2m: non-master
+        // contributors ship one record up, the master ships one per mirror
+        // down. Frame headers are charged once per non-empty stream.
+        const vid_t gid_v = part.gids[v];
+        if (mode == sim::CommMode::kAllToAll) {
+          auto note = [&](machine_t rm, lvid_t rv) {
+            if (states_[rm].has_delta[rv]) {
+              exch_up_coders_[std::size_t{m} * p + rm].add(
+                  gid_v, sizeof(typename P::Msg), rnum - 1);
+            }
+          };
+          note(m, v);
+          for (const auto& [r, rl] : part.remote_replicas[v]) note(r, rl);
+        } else {
+          auto note_up = [&](machine_t rm, lvid_t rv) {
+            if (rm != m && states_[rm].has_delta[rv]) {
+              exch_up_coders_[std::size_t{m} * p + rm].add(
+                  gid_v, sizeof(typename P::Msg));
+            }
+          };
+          note_up(m, v);
+          for (const auto& [r, rl] : part.remote_replicas[v]) note_up(r, rl);
+          for (const auto& [r, rl] : part.remote_replicas[v]) {
+            (void)rl;
+            exch_down_coders_[std::size_t{m} * p + r].add(
+                gid_v, sizeof(typename P::Msg));
+          }
+        }
 
         // Deliver "others' deltas" to every replica and clear its delta.
         // Raw deposits: the target frontiers belong to other machines, so
@@ -341,13 +403,17 @@ class LazyBlockAsyncEngine {
         states_[rm].frontier.activate(rv);
       }
     }
-    std::uint64_t total_msgs = 0, total_bytes = 0;
+    std::uint64_t total_msgs = 0, total_raw = 0;
     for (machine_t m = 0; m < p; ++m) {
       total_msgs += msgs[m];
-      total_bytes += bytes[m];
+      total_raw += bytes[m];
     }
+    std::uint64_t total_wire = 0;
+    for (const auto& c : exch_up_coders_) total_wire += c.total_bytes();
+    for (const auto& c : exch_down_coders_) total_wire += c.total_bytes();
     cluster_.charge_exchange(sim::SpanKind::kCoherencyExchange, mode,
-                             total_bytes, total_msgs, &decision.prediction);
+                             total_raw, total_wire, total_msgs,
+                             &decision.prediction);
     return decision;
   }
 
@@ -359,6 +425,12 @@ class LazyBlockAsyncEngine {
   std::vector<PartState<P>> states_;
   std::vector<std::vector<lvid_t>> exch_pending_;
   std::vector<std::vector<std::pair<machine_t, lvid_t>>> exch_fresh_;
+  // Pooled per-exchange scratch (estimates, per-machine tallies, and the
+  // wire-codec stream matrices [coordinator*p + peer]) — members so
+  // steady-state exchanges allocate nothing.
+  std::vector<std::uint64_t> exch_est_a2a_, exch_est_m2m_;
+  std::vector<std::uint64_t> exch_msgs_, exch_bytes_;
+  std::vector<wire::DeltaSizeCoder> exch_up_coders_, exch_down_coders_;
   CoherencyInspector<P> inspector_;
   double first_iter_seconds_ = 0.0;
 };

@@ -81,7 +81,7 @@ class LazyVertexAsyncEngine {
 
     for (std::uint64_t cycle = 0; cycle < opts_.max_cycles; ++cycle) {
       std::fill(work.begin(), work.end(), 0);
-      msgs_ = bytes_ = 0;
+      msgs_ = bytes_ = wire_ = 0;
       bool any = false;
       std::uint64_t active = 0;
       for (machine_t m = 0; m < p; ++m) active += queues_[m].size();
@@ -116,7 +116,7 @@ class LazyVertexAsyncEngine {
       ++result.supersteps;
       cluster_.charge_compute(sim::SpanKind::kLocalStage, work);
       cluster_.charge_fine_grained(sim::SpanKind::kCoherencyExchange, bytes_,
-                                   msgs_);
+                                   wire_, msgs_);
       if (sim::Tracer* t = cluster_.tracer()) {
         t->record_superstep({.superstep = result.supersteps,
                             .active_vertices = active});
@@ -238,6 +238,10 @@ class LazyVertexAsyncEngine {
     const std::uint64_t cnt = static_cast<std::uint64_t>(nd) * (rnum - 1);
     msgs_ += cnt;
     bytes_ += cnt * wire_bytes<typename P::Msg>();
+    // Per-vertex coherency events ship one record at a time — charged as
+    // single-record wire frames (no batch to delta-compress).
+    wire_ += cnt * wire::single_record_bytes(part.gids[v],
+                                             sizeof(typename P::Msg));
     ++cluster_.metrics().vertex_coherency_events;
     return true;
   }
@@ -330,7 +334,7 @@ class LazyVertexAsyncEngine {
   std::vector<std::vector<std::uint32_t>> applies_since_;
   std::vector<std::vector<lvid_t>> flush_pending_;
   CoherencyInspector<P> inspector_;
-  std::uint64_t msgs_ = 0, bytes_ = 0;
+  std::uint64_t msgs_ = 0, bytes_ = 0, wire_ = 0;
 };
 
 }  // namespace lazygraph::engine

@@ -20,10 +20,10 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "engine/state.hpp"
+#include "util/function_ref.hpp"
 
 namespace lazygraph::engine {
 
@@ -139,7 +139,7 @@ struct SweepExec {
 /// cluster pool when the exec budget allows, inline otherwise.
 inline void run_chunks(const SweepExec& exec, std::size_t n,
                        std::size_t chunk_size,
-                       const std::function<void(std::size_t, std::size_t)>& body) {
+                       util::FunctionRef<void(std::size_t, std::size_t)> body) {
   if (exec.cluster != nullptr && exec.threads > 1) {
     exec.cluster->run_chunks(n, chunk_size, exec.threads, body);
     return;

@@ -3,15 +3,27 @@
 // used by the eager engines' master->mirror broadcasts, the active-vertex
 // frontiers that make sparse supersteps cheap, and the pooled scratch the
 // chunked deterministic sweep reuses across supersteps.
+//
+// PartState is a slab arena: one cache-line-aligned allocation per simulated
+// machine carved into SoA sections (vdata | msg | delta | payload | four
+// packed flag bitsets), so an engine run touches one contiguous block per
+// machine instead of seven independently-allocated vectors, and copying a
+// machine image (recovery guard) is a single memcpy.
 #pragma once
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
+#include <new>
 #include <utility>
 #include <vector>
 
+#include "engine/bitset.hpp"
 #include "engine/frontier.hpp"
 #include "engine/program.hpp"
+#include "engine/wire.hpp"
 #include "partition/dgraph.hpp"
 #include "sim/cluster.hpp"
 
@@ -29,12 +41,23 @@ template <VertexProgram P>
 using CoherencyInspector = std::function<void(
     std::uint64_t superstep, const std::vector<PartState<P>>& states)>;
 
-/// Wire sizes used for traffic accounting: an 8-byte routing header (vertex
-/// id + flags) plus the payload.
+/// View into one slab section: vector-shaped (index/size/data/iterate) but
+/// non-owning — PartState's slab holds the storage.
 template <class T>
-constexpr std::uint64_t wire_bytes() {
-  return 8 + sizeof(T);
-}
+struct ArenaSpan {
+  T* ptr = nullptr;
+  std::size_t count = 0;
+
+  T& operator[](std::size_t i) { return ptr[i]; }
+  const T& operator[](std::size_t i) const { return ptr[i]; }
+  std::size_t size() const { return count; }
+  T* data() { return ptr; }
+  const T* data() const { return ptr; }
+  T* begin() { return ptr; }
+  T* end() { return ptr + count; }
+  const T* begin() const { return ptr; }
+  const T* end() const { return ptr + count; }
+};
 
 struct SweepCounters {
   std::uint64_t work = 0;     // applies + edge traversals
@@ -87,42 +110,187 @@ struct SweepScratch {
   std::vector<std::vector<lvid_t>> delta_activations;
 };
 
+/// Per-machine runtime state on a single slab. Sections (each start aligned
+/// to the 64-byte cache line; the slab itself is 64-byte aligned):
+///
+///   [ vdata: n*VData | msg: n*Msg | delta: n*Msg | payload: n*Scatter |
+///     has_msg | has_delta | has_payload | applied : words_for(n)*u64 each ]
+///
+/// resize() performs the one first-touch allocation (and zero-fill) per
+/// machine; every later copy of equal local size reuses the slab as a plain
+/// memcpy — which is exactly what the recovery guard's per-coherency-point
+/// `image_[m] = now` needs to stay allocation-free.
 template <VertexProgram P>
 struct PartState {
-  std::vector<typename P::VData> vdata;
-  std::vector<typename P::Msg> msg;
-  std::vector<std::uint8_t> has_msg;
-  std::vector<typename P::Msg> delta;
-  std::vector<std::uint8_t> has_delta;
-  std::vector<typename P::Scatter> payload;
-  std::vector<std::uint8_t> has_payload;
+  static_assert(std::is_trivially_copyable_v<typename P::VData> &&
+                    std::is_trivially_copyable_v<typename P::Msg> &&
+                    std::is_trivially_copyable_v<typename P::Scatter>,
+                "PartState slab sections hold raw bytes");
+
+  ArenaSpan<typename P::VData> vdata;
+  ArenaSpan<typename P::Msg> msg;
+  Bitset has_msg;
+  ArenaSpan<typename P::Msg> delta;
+  Bitset has_delta;
+  ArenaSpan<typename P::Scatter> payload;
+  Bitset has_payload;
   /// Raised once the replica's apply has run at least once this engine run;
   /// collect_touched folds these into the RunResult's StageResult handoff.
-  std::vector<std::uint8_t> applied;
+  Bitset applied;
   /// Worklists over has_msg / has_delta (see frontier.hpp for the invariant:
   /// every raised flag is reachable through its frontier).
   Frontier frontier;
   Frontier delta_frontier;
   SweepScratch<typename P::Msg> scratch;
 
+  PartState() = default;
+  PartState(const PartState& o) { copy_from(o); }
+  PartState& operator=(const PartState& o) {
+    if (this != &o) copy_from(o);
+    return *this;
+  }
+  PartState(PartState&& o) noexcept { move_from(std::move(o)); }
+  PartState& operator=(PartState&& o) noexcept {
+    if (this != &o) {
+      release();
+      move_from(std::move(o));
+    }
+    return *this;
+  }
+  ~PartState() { release(); }
+
   void resize(lvid_t n) {
-    vdata.resize(n);
-    msg.resize(n);
-    has_msg.assign(n, 0);
-    delta.resize(n);
-    has_delta.assign(n, 0);
-    payload.resize(n);
-    has_payload.assign(n, 0);
-    applied.assign(n, 0);
+    ensure_slab(n);
+    if (slab_bytes_ > 0) std::memset(slab_, 0, slab_bytes_);
     frontier.reset(n);
     delta_frontier.reset(n);
+    // Pre-size the Gauss-Seidel worklist to its hard bound — every lvid
+    // pending at once (activation is gated on the has_msg 0->1 transition,
+    // so a live vertex enters the heap once per sweep) plus a full seed
+    // list of stale entries — so steady-state sweeps never grow it.
+    scratch.heap.reserve(static_cast<std::size_t>(n) +
+                         frontier.sparse_capacity());
   }
 
+  /// Active-message count via bitset popcount (O(n/64)); the debug build
+  /// cross-checks it against the linear flag scan it replaced.
   std::uint64_t count_msgs() const {
-    std::uint64_t c = 0;
-    for (const auto f : has_msg) c += f;
+    const std::uint64_t c = has_msg.count();
+#ifndef NDEBUG
+    std::uint64_t linear = 0;
+    for (std::size_t v = 0; v < has_msg.size(); ++v) {
+      linear += has_msg[v] ? 1 : 0;
+    }
+    assert(linear == c && "count_msgs: popcount disagrees with flag scan");
+#endif
     return c;
   }
+
+  /// Resident bytes of this machine's slab (SimMetrics::state_bytes sums
+  /// these across machines).
+  std::size_t slab_bytes() const { return slab_bytes_; }
+
+  /// Scribbles 0xAB over every section — fault injection marks a dead
+  /// machine's state unmistakably invalid until recovery restores it.
+  void poison() {
+    if (slab_ != nullptr) std::memset(slab_, 0xAB, slab_bytes_);
+  }
+
+ private:
+  static constexpr std::size_t kAlign = 64;
+
+  static constexpr std::size_t align_up(std::size_t x) {
+    return (x + kAlign - 1) & ~(kAlign - 1);
+  }
+
+  struct Layout {
+    std::size_t vdata = 0, msg = 0, delta = 0, payload = 0;
+    std::size_t flags[4] = {0, 0, 0, 0};  // has_msg, has_delta, has_payload,
+                                          // applied word sections
+    std::size_t total = 0;
+  };
+
+  static Layout layout_for(lvid_t n) {
+    Layout l;
+    std::size_t off = 0;
+    const auto section = [&](std::size_t bytes) {
+      const std::size_t at = off;
+      off = align_up(off + bytes);
+      return at;
+    };
+    l.vdata = section(n * sizeof(typename P::VData));
+    l.msg = section(n * sizeof(typename P::Msg));
+    l.delta = section(n * sizeof(typename P::Msg));
+    l.payload = section(n * sizeof(typename P::Scatter));
+    const std::size_t flag_bytes = Bitset::words_for(n) * sizeof(std::uint64_t);
+    for (std::size_t f = 0; f < 4; ++f) l.flags[f] = section(flag_bytes);
+    l.total = off;
+    return l;
+  }
+
+  /// (Re)allocates the slab when the layout's byte size changes and points
+  /// every view at its section. Never touches the slab contents.
+  void ensure_slab(lvid_t n) {
+    const Layout l = layout_for(n);
+    if (l.total != slab_bytes_) {
+      release();
+      if (l.total > 0) {
+        slab_ = ::operator new(l.total, std::align_val_t{kAlign});
+      }
+      slab_bytes_ = l.total;
+    }
+    n_ = n;
+    auto* base = static_cast<std::byte*>(slab_);
+    vdata = {reinterpret_cast<typename P::VData*>(base + l.vdata), n};
+    msg = {reinterpret_cast<typename P::Msg*>(base + l.msg), n};
+    delta = {reinterpret_cast<typename P::Msg*>(base + l.delta), n};
+    payload = {reinterpret_cast<typename P::Scatter*>(base + l.payload), n};
+    has_msg.attach(reinterpret_cast<std::uint64_t*>(base + l.flags[0]), n);
+    has_delta.attach(reinterpret_cast<std::uint64_t*>(base + l.flags[1]), n);
+    has_payload.attach(reinterpret_cast<std::uint64_t*>(base + l.flags[2]), n);
+    applied.attach(reinterpret_cast<std::uint64_t*>(base + l.flags[3]), n);
+  }
+
+  /// Copies the semantic state: slab (reusing the allocation when sizes
+  /// match) and frontiers. The sweep scratch is deliberately NOT copied —
+  /// it is pooled workspace whose contents are dead between sweeps, and
+  /// keeping the destination's high-water buffers preserves the
+  /// zero-allocation steady state across guard-image snapshots.
+  void copy_from(const PartState& o) {
+    ensure_slab(o.n_);
+    if (slab_bytes_ > 0) std::memcpy(slab_, o.slab_, slab_bytes_);
+    frontier = o.frontier;
+    delta_frontier = o.delta_frontier;
+  }
+
+  void move_from(PartState&& o) noexcept {
+    slab_ = std::exchange(o.slab_, nullptr);
+    slab_bytes_ = std::exchange(o.slab_bytes_, 0);
+    n_ = std::exchange(o.n_, 0);
+    vdata = std::exchange(o.vdata, {});
+    msg = std::exchange(o.msg, {});
+    delta = std::exchange(o.delta, {});
+    payload = std::exchange(o.payload, {});
+    has_msg = std::exchange(o.has_msg, {});
+    has_delta = std::exchange(o.has_delta, {});
+    has_payload = std::exchange(o.has_payload, {});
+    applied = std::exchange(o.applied, {});
+    frontier = std::move(o.frontier);
+    delta_frontier = std::move(o.delta_frontier);
+    scratch = std::move(o.scratch);
+  }
+
+  void release() {
+    if (slab_ != nullptr) {
+      ::operator delete(slab_, std::align_val_t{kAlign});
+    }
+    slab_ = nullptr;
+    slab_bytes_ = 0;
+  }
+
+  void* slab_ = nullptr;
+  std::size_t slab_bytes_ = 0;
+  lvid_t n_ = 0;
 };
 
 template <VertexProgram P>
@@ -275,6 +443,10 @@ void finalize_result(RunResult<P>& result, const sim::Cluster& cluster,
   result.data = collect_master_data(dg, states);
   result.handoff = collect_touched(dg, states);
   result.metrics = cluster.metrics();
+  // Peak resident vertex-state footprint: the slabs are sized once at
+  // make_states and never shrink, so the end-of-run sum is the peak.
+  result.metrics.state_bytes = 0;
+  for (const auto& s : states) result.metrics.state_bytes += s.slab_bytes();
   result.trace = cluster.tracer();
 }
 

@@ -70,6 +70,13 @@ class SyncEngine {
     // Per machine: master lvids with any active replica this superstep
     // (sorted ascending), and payload-carrying replicas to scatter.
     std::vector<std::vector<lvid_t>> pending(p), scatter_list(p);
+    // Wire-codec size accounting, one stream per machine pair [dest*p+src]:
+    // gather ships mirror accumulators to masters, broadcast ships new
+    // master vdata (with the scatter payload piggybacked behind a presence
+    // bitmap) to mirrors. pending[m] is ascending and lvids are dense in
+    // gid order, so each stream sees strictly ascending gids.
+    std::vector<wire::DeltaSizeCoder> gather_coders(std::size_t{p} * p),
+        bcast_coders(std::size_t{p} * p);
 
     for (std::uint64_t step = 0; step < opts_.max_supersteps; ++step) {
       ++cluster_.metrics().supersteps;
@@ -101,6 +108,7 @@ class SyncEngine {
       // in-edges and every mirror ships one accumulator to the master,
       // whether or not anything arrived locally. ---
       std::fill(gather_msgs.begin(), gather_msgs.end(), 0);
+      for (auto& c : gather_coders) c.reset();
       for (auto& w : gather_work) w.store(0, std::memory_order_relaxed);
       cluster_.parallel_machines([&](machine_t m) {
         const partition::Part& part = dg_.part(m);
@@ -113,6 +121,8 @@ class SyncEngine {
             gather_work[r].fetch_add(dg_.part(r).local_in_degree[rl],
                                      std::memory_order_relaxed);
             ++gather_msgs[m];  // one accumulator per mirror, always
+            gather_coders[std::size_t{m} * p + r].add(
+                part.gids[v], sizeof(typename P::Msg));
             if (rs.has_msg[rl]) {
               // Raw deposit: the master flag raised here is consumed by the
               // apply pass below, before the next frontier derivation.
@@ -127,17 +137,20 @@ class SyncEngine {
         total_gather += gather_msgs[m];
         work[m] = gather_work[m].load(std::memory_order_relaxed);
       }
+      std::uint64_t gather_wire = 0;
+      for (const auto& c : gather_coders) gather_wire += c.total_bytes();
       cluster_.charge_compute(sim::SpanKind::kEagerGather, work);
       cluster_.charge_exchange(sim::SpanKind::kEagerGather,
                                sim::CommMode::kAllToAll,
                                total_gather * wire_bytes<typename P::Msg>(),
-                               total_gather);
+                               gather_wire, total_gather);
       cluster_.charge_barrier();  // sync #1
 
       // --- Apply at masters + eager broadcast of new data to mirrors. ---
       std::fill(bcast_msgs.begin(), bcast_msgs.end(), 0);
       std::fill(bcast_payloads.begin(), bcast_payloads.end(), 0);
       std::fill(applies.begin(), applies.end(), 0);
+      for (auto& c : bcast_coders) c.reset();
       cluster_.parallel_machines([&](machine_t m) {
         const partition::Part& part = dg_.part(m);
         PartState<P>& s = states_[m];
@@ -157,6 +170,10 @@ class SyncEngine {
             PartState<P>& rs = states_[r];
             rs.vdata[rl] = s.vdata[v];
             ++bcast_msgs[m];
+            bcast_coders[std::size_t{m} * p + r].add(
+                part.gids[v],
+                sizeof(typename P::VData) +
+                    (payload ? sizeof(typename P::Scatter) : 0));
             if (payload) {
               rs.payload[rl] = *payload;
               rs.has_payload[rl] = 1;
@@ -172,11 +189,15 @@ class SyncEngine {
         total_applies += applies[m];
       }
       cluster_.metrics().applies += total_applies;
+      std::uint64_t bcast_wire = 0;
+      for (const auto& c : bcast_coders) {
+        bcast_wire += c.total_bytes_with_flag_bitmap();
+      }
       cluster_.charge_exchange(
           sim::SpanKind::kEagerBroadcast, sim::CommMode::kAllToAll,
           total_bcast * wire_bytes<typename P::VData>() +
               total_payloads * sizeof(typename P::Scatter),
-          total_bcast);
+          bcast_wire, total_bcast);
       cluster_.charge_barrier();  // sync #2
 
       // --- Scatter on every replica along local out-edges, worklist-driven:

@@ -44,6 +44,7 @@
 #include "serve/verify.hpp"
 #include "sim/cluster.hpp"
 #include "sim/failure.hpp"
+#include "sim/perf_report.hpp"
 #include "sim/trace.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"

@@ -115,6 +115,10 @@ class Recoverer {
       return;
     }
     (void)superstep;
+    // Guard and recovery traffic stay on the uncompressed fallback path
+    // (flat wire_bytes<T>() = kUncompressedHeaderBytes + payload): the log
+    // models state capture keyed by arbitrary changed slots, not the sorted
+    // delta batches the engine::wire codec compresses.
     std::uint64_t bytes = 0, entries = 0;
     for (machine_t m = 0; m < dg_.num_machines(); ++m) {
       const partition::Part& part = dg_.part(m);
@@ -162,16 +166,9 @@ class Recoverer {
     const partition::Part& part = dg_.part(m);
     engine::PartState<P>& s = states[m];
 
-    // The machine is dead: poison its POD state so any accidental read of
+    // The machine is dead: poison its state slab so any accidental read of
     // dead memory (instead of the rebuilt image) corrupts results loudly.
-    poison(s.vdata);
-    poison(s.msg);
-    poison(s.has_msg);
-    poison(s.delta);
-    poison(s.has_delta);
-    poison(s.payload);
-    poison(s.has_payload);
-    poison(s.applied);
+    s.poison();
 
     // Cost of the rebuild, computed from the guard image (== the state the
     // survivors + delta log can reproduce).
@@ -222,15 +219,6 @@ class Recoverer {
     s = img;
     if (restore_extra_) restore_extra_(m, extra_[m]);
     cluster_.charge_recovery(charge);
-  }
-
-  template <class T>
-  static void poison(std::vector<T>& v) {
-    static_assert(std::is_trivially_copyable_v<T>,
-                  "poison() scribbles raw bytes; the restore below must be "
-                  "able to overwrite them with plain assignment");
-    if (!v.empty())
-      std::memset(static_cast<void*>(v.data()), 0xAB, v.size() * sizeof(T));
   }
 
   sim::Cluster& cluster_;

@@ -189,12 +189,7 @@ std::array<std::uint8_t, K> lanes_pending(
 template <engine::VertexProgram P>
 bool any_pending(const std::vector<engine::PartState<P>>& states) {
   for (const auto& s : states) {
-    for (const auto f : s.has_msg) {
-      if (f) return true;
-    }
-    for (const auto f : s.has_delta) {
-      if (f) return true;
-    }
+    if (s.has_msg.any() || s.has_delta.any()) return true;
   }
   return false;
 }

@@ -14,21 +14,25 @@ Cluster::Cluster(const ClusterConfig& cfg)
   if (cfg.threads != 1) pool_ = std::make_unique<ThreadPool>(cfg.threads);
 }
 
-void Cluster::parallel_machines(const std::function<void(machine_t)>& body) {
-  auto wrapper = [&](std::size_t m) { body(static_cast<machine_t>(m)); };
+void Cluster::parallel_machines(util::FunctionRef<void(machine_t)> body) {
   if (pool_) {
-    pool_->parallel_for(machines_, wrapper);
+    // The pool path type-erases into std::function (and allocates control
+    // blocks) by design; the serial path below is the zero-allocation one.
+    pool_->parallel_for(machines_,
+                        [&](std::size_t m) { body(static_cast<machine_t>(m)); });
   } else {
-    serial_for(machines_, wrapper);
+    for (machine_t m = 0; m < machines_; ++m) body(m);
   }
 }
 
 void Cluster::run_chunks(
     std::size_t n, std::size_t chunk_size, std::uint32_t threads,
-    const std::function<void(std::size_t, std::size_t)>& body) const {
+    util::FunctionRef<void(std::size_t, std::size_t)> body) const {
   if (chunk_size == 0) chunk_size = 1;
   if (pool_ && threads > 1 && n > chunk_size) {
-    pool_->parallel_for_chunks(n, chunk_size, threads, body);
+    pool_->parallel_for_chunks(
+        n, chunk_size, threads,
+        [&](std::size_t b, std::size_t e) { body(b, e); });
     return;
   }
   for (std::size_t b = 0; b < n; b += chunk_size) {
@@ -83,21 +87,28 @@ void Cluster::charge_barrier(SpanKind kind) {
 }
 
 void Cluster::charge_exchange(SpanKind kind, CommMode mode,
-                              std::uint64_t bytes, std::uint64_t messages,
+                              std::uint64_t raw_bytes,
+                              std::uint64_t wire_bytes, std::uint64_t messages,
                               const CommPrediction* prediction) {
   const double start = metrics_.sim_seconds();
-  metrics_.network_bytes += bytes;
+  // The compressed encoding is what actually crosses the network: volume
+  // counters and the bandwidth charge both price wire bytes; raw bytes are
+  // kept alongside so the compression ratio is a first-class counter.
+  metrics_.network_bytes += wire_bytes;
   metrics_.network_messages += messages;
+  metrics_.exchange_bytes_raw += raw_bytes;
+  metrics_.exchange_bytes_wire += wire_bytes;
   if (mode == CommMode::kAllToAll) {
     ++metrics_.a2a_exchanges;
   } else {
     ++metrics_.m2m_exchanges;
   }
-  const double mb = static_cast<double>(bytes) / (1024.0 * 1024.0);
+  const double mb = static_cast<double>(wire_bytes) / (1024.0 * 1024.0);
   metrics_.comm_seconds += net_.comm_seconds(mode, mb);
   if (tracer_) {
     TraceSpan span = make_span(kind, start);
-    span.bytes = bytes;
+    span.bytes = wire_bytes;
+    span.raw_bytes = raw_bytes;
     span.messages = messages;
     span.comm_mode = static_cast<int>(mode);
     if (prediction) span.prediction = *prediction;
@@ -105,19 +116,23 @@ void Cluster::charge_exchange(SpanKind kind, CommMode mode,
   }
 }
 
-void Cluster::charge_fine_grained(SpanKind kind, std::uint64_t bytes,
+void Cluster::charge_fine_grained(SpanKind kind, std::uint64_t raw_bytes,
+                                  std::uint64_t wire_bytes,
                                   std::uint64_t messages) {
   const double start = metrics_.sim_seconds();
-  metrics_.network_bytes += bytes;
+  metrics_.network_bytes += wire_bytes;
   metrics_.network_messages += messages;
-  const double mb = static_cast<double>(bytes) / (1024.0 * 1024.0) *
+  metrics_.exchange_bytes_raw += raw_bytes;
+  metrics_.exchange_bytes_wire += wire_bytes;
+  const double mb = static_cast<double>(wire_bytes) / (1024.0 * 1024.0) *
                     net_.config().volume_scale;
   metrics_.comm_seconds += mb / net_.aggregate_bandwidth_mb_per_s();
   metrics_.overhead_seconds +=
       net_.message_overhead_seconds(messages, machines_);
   if (tracer_) {
     TraceSpan span = make_span(kind, start);
-    span.bytes = bytes;
+    span.bytes = wire_bytes;
+    span.raw_bytes = raw_bytes;
     span.messages = messages;
     tracer_->record_span(span);
   }

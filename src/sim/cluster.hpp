@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -17,6 +16,7 @@
 #include "sim/metrics.hpp"
 #include "sim/netmodel.hpp"
 #include "sim/trace.hpp"
+#include "util/function_ref.hpp"
 #include "util/threadpool.hpp"
 
 namespace lazygraph::sim {
@@ -50,8 +50,9 @@ class Cluster {
   Tracer* tracer() const { return tracer_; }
 
   /// Runs body(m) for every machine m, in parallel across the pool.
-  /// body must only touch machine-m state.
-  void parallel_machines(const std::function<void(machine_t)>& body);
+  /// body must only touch machine-m state. Takes a FunctionRef so the
+  /// serial path (pool absent) performs no heap allocation per call.
+  void parallel_machines(util::FunctionRef<void(machine_t)> body);
 
   /// Runs body(begin, end) over [0, n) in chunk_size slices using up to
   /// `threads` threads (the intra-machine budget — including the caller,
@@ -61,7 +62,7 @@ class Cluster {
   /// callers own determinism (merge in chunk order).
   void run_chunks(std::size_t n, std::size_t chunk_size,
                   std::uint32_t threads,
-                  const std::function<void(std::size_t, std::size_t)>& body)
+                  util::FunctionRef<void(std::size_t, std::size_t)> body)
       const;
 
   /// Charges compute time for one stage: max over machines of the given
@@ -76,24 +77,28 @@ class Cluster {
   /// Charges one global synchronization (barrier) across all machines.
   void charge_barrier(SpanKind kind = SpanKind::kBarrier);
 
-  /// Charges a replica-exchange collective: `bytes` total network bytes in
-  /// `messages` point-to-point messages using `mode`. `prediction`, when
-  /// given, attaches the comm-mode selector's fitted-curve estimates to the
-  /// span (coherency exchanges).
-  void charge_exchange(SpanKind kind, CommMode mode, std::uint64_t bytes,
-                       std::uint64_t messages,
+  /// Charges a replica-exchange collective: `wire_bytes` actually cross the
+  /// network (the engine::wire codec's exact encoded size — this is what
+  /// NetworkModel prices) in `messages` point-to-point messages using
+  /// `mode`; `raw_bytes` is what the same records would have cost on the
+  /// uncompressed fallback path (kUncompressedHeaderBytes + payload each).
+  /// Both sides accumulate into SimMetrics::exchange_bytes_{raw,wire}.
+  /// `prediction`, when given, attaches the comm-mode selector's
+  /// fitted-curve estimates to the span (coherency exchanges).
+  void charge_exchange(SpanKind kind, CommMode mode, std::uint64_t raw_bytes,
+                       std::uint64_t wire_bytes, std::uint64_t messages,
                        const CommPrediction* prediction = nullptr);
   void charge_exchange(CommMode mode, std::uint64_t bytes,
                        std::uint64_t messages) {
-    charge_exchange(SpanKind::kExchange, mode, bytes, messages);
+    charge_exchange(SpanKind::kExchange, mode, bytes, bytes, messages);
   }
 
   /// Charges fine-grained eager traffic (async engines): per-message
-  /// overhead plus bandwidth, no barrier.
-  void charge_fine_grained(SpanKind kind, std::uint64_t bytes,
-                           std::uint64_t messages);
+  /// overhead plus bandwidth, no barrier. raw/wire as in charge_exchange.
+  void charge_fine_grained(SpanKind kind, std::uint64_t raw_bytes,
+                           std::uint64_t wire_bytes, std::uint64_t messages);
   void charge_fine_grained(std::uint64_t bytes, std::uint64_t messages) {
-    charge_fine_grained(SpanKind::kFineGrained, bytes, messages);
+    charge_fine_grained(SpanKind::kFineGrained, bytes, bytes, messages);
   }
 
   /// Charges the delta-log guard kept between coherency points: `bytes` of

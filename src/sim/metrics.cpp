@@ -17,6 +17,20 @@ void SimMetrics::print(std::ostream& os, const std::string& label) const {
      << label << ": msgs=" << network_messages << " traffic="
      << std::setprecision(3) << network_mb() << "MB a2a=" << a2a_exchanges
      << " m2m=" << m2m_exchanges << "\n";
+  if (exchange_bytes_raw > 0) {
+    const double raw_mb =
+        static_cast<double>(exchange_bytes_raw) / (1024.0 * 1024.0);
+    const double wire_mb =
+        static_cast<double>(exchange_bytes_wire) / (1024.0 * 1024.0);
+    os << std::setprecision(3) << label << ": exchange_raw=" << raw_mb
+       << "MB exchange_wire=" << wire_mb << "MB ratio="
+       << (exchange_bytes_wire > 0
+               ? static_cast<double>(exchange_bytes_raw) /
+                     static_cast<double>(exchange_bytes_wire)
+               : 0.0)
+       << "x state="
+       << static_cast<double>(state_bytes) / (1024.0 * 1024.0) << "MB\n";
+  }
   if (recoveries > 0 || guard_bytes > 0) {
     os << std::setprecision(3) << label << ": recoveries=" << recoveries
        << " guard="

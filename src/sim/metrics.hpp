@@ -27,6 +27,16 @@ struct SimMetrics {
   /// worklist machinery's effectiveness measure: sparse supersteps keep this
   /// near the frontier size instead of O(num_local) per sweep.
   std::uint64_t sweep_scanned = 0;
+  /// Exchange/broadcast/fine-grained traffic both ways of the wire codec:
+  /// `raw` is the uncompressed-fallback size (kUncompressedHeaderBytes +
+  /// payload per record), `wire` the delta-varint encoded size actually
+  /// charged to the network (wire contributes to network_bytes; raw is
+  /// accounting only). wire < raw whenever any exchange happened.
+  std::uint64_t exchange_bytes_raw = 0;
+  std::uint64_t exchange_bytes_wire = 0;
+  /// Peak resident per-machine runtime state: sum of the PartState slab
+  /// sizes across machines, stamped by engine::finalize_result.
+  std::uint64_t state_bytes = 0;
   // --- fault injection & recovery (src/recovery/) ---
   std::uint64_t recoveries = 0;       // machines killed and rebuilt mid-run
   std::uint64_t guard_bytes = 0;      // delta-log guard traffic since the

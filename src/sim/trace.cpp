@@ -207,7 +207,8 @@ void Tracer::write_jsonl(std::ostream& os) const {
        << fmt(s.start_seconds) << ",\"seconds\":" << fmt(s.duration_seconds)
        << ",\"machines\":" << s.machines << ",\"min_work\":" << s.min_work
        << ",\"max_work\":" << s.max_work << ",\"mean_work\":"
-       << fmt(s.mean_work) << ",\"bytes\":" << s.bytes << ",\"messages\":"
+       << fmt(s.mean_work) << ",\"bytes\":" << s.bytes << ",\"raw_bytes\":"
+       << s.raw_bytes << ",\"messages\":"
        << s.messages << ",\"mode\":" << quote(mode_name(s.comm_mode))
        << ",\"t_a2a\":" << fmt(s.prediction.t_a2a_seconds) << ",\"t_m2m\":"
        << fmt(s.prediction.t_m2m_seconds) << "}\n";
@@ -257,6 +258,7 @@ Tracer Tracer::read_jsonl(std::istream& is) {
       s.max_work = o.u64("max_work");
       s.mean_work = o.num("mean_work");
       s.bytes = o.u64("bytes");
+      s.raw_bytes = o.u64("raw_bytes");  // absent in pre-codec traces -> 0
       s.messages = o.u64("messages");
       s.comm_mode = parse_mode(o);
       s.prediction = {o.num("t_a2a", -1.0), o.num("t_m2m", -1.0)};
@@ -352,6 +354,7 @@ Table Tracer::kind_summary_table() const {
     std::uint64_t count = 0;
     double seconds = 0.0;
     std::uint64_t bytes = 0;
+    std::uint64_t raw_bytes = 0;
     std::uint64_t messages = 0;
   };
   std::map<SpanKind, Agg> agg;
@@ -361,15 +364,17 @@ Table Tracer::kind_summary_table() const {
     ++a.count;
     a.seconds += s.duration_seconds;
     a.bytes += s.bytes;
+    a.raw_bytes += s.raw_bytes;
     a.messages += s.messages;
     total += s.duration_seconds;
   }
-  Table t({"kind", "spans", "seconds", "share", "bytes", "msgs"});
+  Table t({"kind", "spans", "seconds", "share", "bytes", "raw_bytes", "msgs"});
   for (const auto& [kind, a] : agg) {
     t.add_row({to_string(kind), Table::num(a.count), Table::num(a.seconds, 6),
                Table::num(total > 0.0 ? 100.0 * a.seconds / total : 0.0, 1) +
                    "%",
-               Table::num(a.bytes), Table::num(a.messages)});
+               Table::num(a.bytes), Table::num(a.raw_bytes),
+               Table::num(a.messages)});
   }
   return t;
 }

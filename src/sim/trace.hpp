@@ -87,8 +87,12 @@ struct TraceSpan {
   std::uint64_t max_work = 0;
   double mean_work = 0.0;
 
-  // Traffic (communication spans).
+  // Traffic (communication spans). `bytes` is what crossed the wire (the
+  // codec's encoded size); `raw_bytes` is the uncompressed-fallback size of
+  // the same records (0 on spans with no raw/wire distinction, e.g. guard
+  // and recovery traffic, which stay on the fallback path).
   std::uint64_t bytes = 0;
+  std::uint64_t raw_bytes = 0;
   std::uint64_t messages = 0;
 
   // Comm-mode decision (coherency exchanges; -1 = no mode involved).

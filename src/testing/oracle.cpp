@@ -167,6 +167,14 @@ std::optional<std::string> check_run_invariants(const RunOutput<P>& out,
            " supersteps, result reports " +
            std::to_string(out.result.supersteps);
   }
+  // The wire codec never charges more than the uncompressed fallback.
+  if (out.result.metrics.exchange_bytes_wire >
+      out.result.metrics.exchange_bytes_raw) {
+    return "exchange wire bytes " +
+           std::to_string(out.result.metrics.exchange_bytes_wire) +
+           " exceed raw bytes " +
+           std::to_string(out.result.metrics.exchange_bytes_raw);
+  }
   if (!with_tracer || !o.check_trace) return std::nullopt;
 
   const sim::Tracer& t = out.tracer;
@@ -196,6 +204,22 @@ std::optional<std::string> check_run_invariants(const RunOutput<P>& out,
       return "span " + std::to_string(i) + " has negative duration";
     }
     cursor = span.start_seconds + span.duration_seconds;
+  }
+  // Exact-size accounting: every raw/wire-bearing span's byte counts must
+  // sum to the metric totals (raw_bytes == 0 marks spans with no raw/wire
+  // distinction — guard, recovery, barriers, compute).
+  std::uint64_t span_raw = 0, span_wire = 0;
+  for (const sim::TraceSpan& span : t.spans()) {
+    if (span.raw_bytes == 0) continue;
+    span_raw += span.raw_bytes;
+    span_wire += span.bytes;
+  }
+  if (span_raw != out.result.metrics.exchange_bytes_raw ||
+      span_wire != out.result.metrics.exchange_bytes_wire) {
+    return "span raw/wire byte sums " + std::to_string(span_raw) + "/" +
+           std::to_string(span_wire) + " do not match metrics " +
+           std::to_string(out.result.metrics.exchange_bytes_raw) + "/" +
+           std::to_string(out.result.metrics.exchange_bytes_wire);
   }
   return std::nullopt;
 }
@@ -362,6 +386,11 @@ std::optional<std::string> run_program(const Scenario& s,
         } else if (again.result.metrics.recoveries !=
                    base.result.metrics.recoveries) {
           why = "recovery count";
+        } else if (again.result.metrics.exchange_bytes_raw !=
+                       base.result.metrics.exchange_bytes_raw ||
+                   again.result.metrics.exchange_bytes_wire !=
+                       base.result.metrics.exchange_bytes_wire) {
+          why = "exchange raw/wire bytes";
         } else {
           for (vid_t v = 0; v < g.num_vertices(); ++v) {
             if (!bit_eq(again.result.data[v], base.result.data[v])) {
@@ -397,6 +426,11 @@ std::optional<std::string> run_program(const Scenario& s,
         why = "superstep count";
       } else if (again.sim_seconds != base.sim_seconds) {
         why = "simulated seconds";
+      } else if (again.result.metrics.exchange_bytes_raw !=
+                     base.result.metrics.exchange_bytes_raw ||
+                 again.result.metrics.exchange_bytes_wire !=
+                     base.result.metrics.exchange_bytes_wire) {
+        why = "exchange raw/wire bytes";
       } else {
         for (vid_t v = 0; v < g.num_vertices(); ++v) {
           if (!bit_eq(again.result.data[v], base.result.data[v])) {

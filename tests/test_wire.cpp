@@ -1,0 +1,239 @@
+// Wire codec (engine/wire.hpp): varint primitives, exact round-trips of
+// random batches, the edge cases the format comment promises, size
+// agreement between DeltaSizeCoder (what the engines charge) and
+// encode_batch (what a real sender would ship), and engine-level exact-size
+// accounting of the raw/wire metrics against hand-recomputed span sums.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+
+#include "test_support.hpp"
+
+namespace lazygraph {
+namespace {
+
+using engine::wire::DeltaSizeCoder;
+using engine::wire::decode_batch;
+using engine::wire::encode_batch;
+using engine::wire::get_varint;
+using engine::wire::put_varint;
+using engine::wire::single_record_bytes;
+using engine::wire::varint_size;
+
+TEST(Varint, SizeMatchesEncoding) {
+  const std::uint64_t probes[] = {0,
+                                  1,
+                                  0x7F,
+                                  0x80,
+                                  0x3FFF,
+                                  0x4000,
+                                  0x1FFFFF,
+                                  0x200000,
+                                  0xFFFFFFFFULL,
+                                  0xFFFFFFFFFFULL,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t v : probes) {
+    std::vector<std::uint8_t> buf;
+    put_varint(buf, v);
+    EXPECT_EQ(buf.size(), varint_size(v)) << "v=" << v;
+    const std::uint8_t* p = buf.data();
+    EXPECT_EQ(get_varint(p, buf.data() + buf.size()), v);
+    EXPECT_EQ(p, buf.data() + buf.size());
+  }
+}
+
+TEST(Varint, RandomRoundTrip) {
+  Rng rng(0xC0DEC);
+  std::vector<std::uint8_t> buf;
+  std::vector<std::uint64_t> vals;
+  for (int i = 0; i < 2000; ++i) {
+    // Bias towards small values (shift by a random bit width).
+    vals.push_back(rng() >> rng.below(64));
+    put_varint(buf, vals.back());
+  }
+  const std::uint8_t* p = buf.data();
+  const std::uint8_t* end = buf.data() + buf.size();
+  for (const std::uint64_t v : vals) EXPECT_EQ(get_varint(p, end), v);
+  EXPECT_EQ(p, end);
+}
+
+TEST(Varint, TruncatedInputThrows) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, 0x4000);  // 3 bytes
+  buf.pop_back();
+  const std::uint8_t* p = buf.data();
+  EXPECT_THROW(get_varint(p, buf.data() + buf.size()), std::invalid_argument);
+}
+
+TEST(Varint, OverlongInputThrows) {
+  // 11 continuation bytes > 64 bits of payload.
+  std::vector<std::uint8_t> buf(11, 0x80);
+  const std::uint8_t* p = buf.data();
+  EXPECT_THROW(get_varint(p, buf.data() + buf.size()), std::invalid_argument);
+}
+
+struct Payload {
+  double rank;
+  std::uint32_t tag;
+  bool operator==(const Payload&) const = default;
+};
+
+std::vector<std::pair<vid_t, Payload>> random_batch(Rng& rng,
+                                                    std::size_t max_len) {
+  std::vector<std::pair<vid_t, Payload>> batch;
+  const std::size_t len = rng.below(max_len + 1);
+  vid_t gid = 0;
+  bool first = true;
+  for (std::size_t i = 0; i < len; ++i) {
+    // Mix of dense (+1) and sparse (large) strides, staying within vid_t.
+    const vid_t stride = rng.uniform() < 0.7
+                             ? 1 + static_cast<vid_t>(rng.below(8))
+                             : 1 + static_cast<vid_t>(rng.below(1u << 20));
+    if (!first && gid > std::numeric_limits<vid_t>::max() - stride) break;
+    gid = first ? stride - 1 : gid + stride;
+    first = false;
+    batch.push_back({gid, {rng.uniform(), static_cast<std::uint32_t>(rng())}});
+  }
+  return batch;
+}
+
+TEST(WireBatch, RandomRoundTripAndCoderAgreement) {
+  Rng rng(0xBA7C4);
+  for (int iter = 0; iter < 300; ++iter) {
+    const auto batch = random_batch(rng, 64);
+    const auto buf = encode_batch(batch);
+    EXPECT_EQ(decode_batch<Payload>(buf), batch);
+    DeltaSizeCoder coder;
+    for (const auto& [gid, payload] : batch) {
+      coder.add(gid, sizeof(payload));
+    }
+    EXPECT_EQ(coder.count(), batch.size());
+    EXPECT_EQ(coder.total_bytes(), buf.size());
+  }
+}
+
+TEST(WireBatch, EmptyBatchIsZeroBytes) {
+  const std::vector<std::pair<vid_t, Payload>> empty;
+  EXPECT_TRUE(encode_batch(empty).empty());
+  EXPECT_TRUE(decode_batch<Payload>({}).empty());
+  DeltaSizeCoder coder;
+  EXPECT_EQ(coder.total_bytes(), 0u);
+  EXPECT_EQ(coder.total_bytes_with_flag_bitmap(), 0u);
+}
+
+TEST(WireBatch, EdgeGids) {
+  // gid 0, a dense run, and the maximal gid in one stream.
+  const std::vector<std::pair<vid_t, Payload>> batch = {
+      {0, {1.0, 1}},
+      {1, {2.0, 2}},
+      {std::numeric_limits<vid_t>::max(), {3.0, 3}}};
+  const auto buf = encode_batch(batch);
+  EXPECT_EQ(decode_batch<Payload>(buf), batch);
+  // frame varint(3)=1, gids: varint(0)+varint(1)+varint(max-1)=1+1+5,
+  // payloads: 3*sizeof(Payload).
+  EXPECT_EQ(buf.size(), 1u + 7u + 3 * sizeof(Payload));
+}
+
+TEST(WireBatch, SingleEntry) {
+  const std::vector<std::pair<vid_t, Payload>> batch = {{42, {0.5, 9}}};
+  const auto buf = encode_batch(batch);
+  EXPECT_EQ(decode_batch<Payload>(buf), batch);
+  EXPECT_EQ(buf.size(), single_record_bytes(42, sizeof(Payload)));
+  // The one-record frame beats the uncompressed fallback for any 32-bit gid.
+  EXPECT_LT(single_record_bytes(std::numeric_limits<vid_t>::max(),
+                                sizeof(Payload)),
+            engine::wire_bytes<Payload>());
+}
+
+TEST(WireBatch, NonMonotoneGidsRejected) {
+  const std::vector<std::pair<vid_t, Payload>> dup = {{5, {}}, {5, {}}};
+  EXPECT_THROW(encode_batch(dup), std::invalid_argument);
+  const std::vector<std::pair<vid_t, Payload>> desc = {{9, {}}, {3, {}}};
+  EXPECT_THROW(encode_batch(desc), std::invalid_argument);
+}
+
+TEST(WireBatch, TruncatedPayloadBlockRejected) {
+  const std::vector<std::pair<vid_t, Payload>> batch = {{7, {1.0, 1}},
+                                                        {8, {2.0, 2}}};
+  auto buf = encode_batch(batch);
+  buf.pop_back();
+  EXPECT_THROW(decode_batch<Payload>(buf), std::invalid_argument);
+}
+
+TEST(WireBatch, FlagBitmapAddsCeilCountOver8) {
+  DeltaSizeCoder coder;
+  for (vid_t g = 0; g < 9; ++g) coder.add(g, 4);
+  EXPECT_EQ(coder.total_bytes_with_flag_bitmap(),
+            coder.total_bytes() + 2);  // ceil(9/8)
+}
+
+TEST(WireBatch, CopiesMultiplyRecordBody) {
+  DeltaSizeCoder once, twice;
+  once.add(100, 8);
+  once.add(107, 8);
+  twice.add(100, 8, 2);
+  twice.add(107, 8, 2);
+  // Frame varint is charged once per stream; the bodies double.
+  EXPECT_EQ(twice.total_bytes() - varint_size(2),
+            2 * (once.total_bytes() - varint_size(2)));
+}
+
+// --- engine-level exact-size accounting -----------------------------------
+//
+// Every exchange/fine-grained span carries both byte counts; the metric
+// totals must be exactly the span sums, wire must be what network_bytes
+// was charged with for those spans, and compression must be strict.
+
+template <class Prog>
+void expect_exact_accounting(engine::EngineKind kind, Prog prog,
+                             bool split_edges) {
+  const Graph g = datasets::make(datasets::spec_by_name("webgoogle-like"),
+                                 0.05);
+  const auto dg =
+      testsupport::build_dgraph(g, 8, partition::CutKind::kCoordinated, 7,
+                                split_edges);
+  sim::Tracer tracer;
+  auto cluster = testsupport::make_cluster(8);
+  engine::RunConfig cfg;
+  cfg.kind = kind;
+  cfg.tracer = &tracer;
+  const auto r = engine::run(cfg, dg, prog, cluster);
+  ASSERT_TRUE(r.converged);
+
+  std::uint64_t span_raw = 0, span_wire = 0;
+  for (const sim::TraceSpan& s : tracer.spans()) {
+    if (s.raw_bytes == 0) continue;  // no raw/wire distinction on this span
+    span_raw += s.raw_bytes;
+    span_wire += s.bytes;
+  }
+  const sim::SimMetrics& m = r.metrics;
+  EXPECT_EQ(m.exchange_bytes_raw, span_raw);
+  EXPECT_EQ(m.exchange_bytes_wire, span_wire);
+  EXPECT_GT(m.exchange_bytes_wire, 0u);
+  EXPECT_LT(m.exchange_bytes_wire, m.exchange_bytes_raw);
+  EXPECT_GT(m.state_bytes, 0u);
+}
+
+TEST(WireAccounting, SyncEngineExact) {
+  expect_exact_accounting(engine::EngineKind::kSync,
+                          algos::PageRankDelta{.tol = 1e-3}, false);
+}
+
+TEST(WireAccounting, AsyncEngineExact) {
+  expect_exact_accounting(engine::EngineKind::kAsync,
+                          algos::SSSP{.source = 0}, false);
+}
+
+TEST(WireAccounting, LazyBlockEngineExact) {
+  expect_exact_accounting(engine::EngineKind::kLazyBlock,
+                          algos::PageRankDelta{.tol = 1e-3}, true);
+}
+
+TEST(WireAccounting, LazyVertexEngineExact) {
+  expect_exact_accounting(engine::EngineKind::kLazyVertex,
+                          algos::SSSP{.source = 0}, true);
+}
+
+}  // namespace
+}  // namespace lazygraph

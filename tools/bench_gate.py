@@ -23,6 +23,8 @@ relevant cells are present (independent of the baseline):
   * BM_PipelineFusion: the composed lowering (arg 1) performs strictly
     fewer partitions/builds/engine_runs and scans fewer sweep slots than
     the sequential baseline (arg 0).
+  * BM_ExchangeCodec: the delta-varint wire volume (exchange_MB_wire) is
+    strictly below the uncompressed fallback (exchange_MB_raw) on every row.
 
 Exit status: 0 clean, 1 on any mismatch or failed shape check, 2 on bad
 invocation. Stdlib only.
@@ -39,6 +41,7 @@ TRACKED_COUNTERS = frozenset({
     "partitions", "builds", "engine_runs", "global_syncs",
     "sweep_scanned", "sweep_work", "sweep_applies",
     "recoveries", "guard_MB", "recovery_MB",
+    "exchange_MB_raw", "exchange_MB_wire", "state_MB",
     "replication_factor",
     "qps_sim", "batches",
     "lat_p50", "lat_p90", "lat_p99", "queue_p99", "service_p50",
@@ -94,6 +97,16 @@ def check_shapes(rows, errors):
                 errors.append(
                     f"shape: BM_PipelineFusion composed {key} ({comp[key]:g}) "
                     f"must be below sequential ({seq[key]:g})")
+
+    for name, counters in sorted(rows.items()):
+        if not name.startswith("BM_ExchangeCodec"):
+            continue
+        raw = counters.get("exchange_MB_raw")
+        wire = counters.get("exchange_MB_wire")
+        if raw is not None and wire is not None and not wire < raw:
+            errors.append(
+                f"shape: {name} exchange_MB_wire ({wire:g}) must be strictly "
+                f"below exchange_MB_raw ({raw:g})")
 
 
 def main():

@@ -20,6 +20,12 @@
 //   --trace=FILE         write the run's JSONL trace to FILE
 //   --trace-summary[=K]  print the top-K most expensive spans (default 10)
 //                        plus per-kind totals and the superstep decision log
+//   --perf-report[=FILE] print the per-phase perf report (simulated seconds,
+//                        share, wire vs raw traffic per protocol phase, plus
+//                        run-wide counters: compression ratio, sweep work,
+//                        peak state bytes). With =FILE, also write the
+//                        report as a single JSON object to FILE — the format
+//                        tools/bench_gate.py consumes.
 //   --kill=m@k[:r]       fault injection: kill machine m at coherency point
 //                        k, restart after r barriers (default 1); several
 //                        events comma-joined, e.g. --kill=3@4:2,1@7. The
@@ -81,7 +87,9 @@ int main(int argc, char** argv) try {
       static_cast<std::size_t>(opts.get_int("ingest-threads", 1));
 
   sim::Tracer tracer;
-  const bool want_trace = opts.has("trace") || opts.has("trace-summary");
+  const bool want_perf = opts.has("perf-report");
+  const bool want_trace =
+      opts.has("trace") || opts.has("trace-summary") || want_perf;
 
   // Load or generate the user-view graph.
   Graph g;
@@ -220,31 +228,37 @@ int main(int argc, char** argv) try {
 
   bool converged = false;
   std::uint64_t supersteps = 0;
+  sim::SimMetrics run_metrics;  // RunResult metrics (includes state_bytes)
   std::vector<std::pair<double, vid_t>> ranked;  // (score, vertex) for --top
+  const auto t_run = std::chrono::steady_clock::now();
   if (algo == "pagerank") {
     const auto r = engine::run(
         cfg, dg, algos::PageRankDelta{.tol = opts.get_double("tol", 1e-3)},
         cluster);
     converged = r.converged;
     supersteps = r.supersteps;
+    run_metrics = r.metrics;
     for (vid_t v = 0; v < g.num_vertices(); ++v)
       ranked.push_back({r.data[v].rank, v});
   } else if (algo == "sssp") {
     const auto r = engine::run(cfg, dg, algos::SSSP{.source = source}, cluster);
     converged = r.converged;
     supersteps = r.supersteps;
+    run_metrics = r.metrics;
     for (vid_t v = 0; v < g.num_vertices(); ++v)
       ranked.push_back({-r.data[v].dist, v});
   } else if (algo == "bfs") {
     const auto r = engine::run(cfg, dg, algos::BFS{.source = source}, cluster);
     converged = r.converged;
     supersteps = r.supersteps;
+    run_metrics = r.metrics;
     for (vid_t v = 0; v < g.num_vertices(); ++v)
       ranked.push_back({-static_cast<double>(r.data[v].depth), v});
   } else if (algo == "cc") {
     const auto r = engine::run(cfg, dg, algos::ConnectedComponents{}, cluster);
     converged = r.converged;
     supersteps = r.supersteps;
+    run_metrics = r.metrics;
     std::map<vid_t, std::size_t> sizes;
     for (vid_t v = 0; v < g.num_vertices(); ++v) ++sizes[r.data[v].label];
     std::cout << "components: " << sizes.size() << "\n";
@@ -253,6 +267,7 @@ int main(int argc, char** argv) try {
     const auto r = engine::run(cfg, dg, algos::KCore{.k = k}, cluster);
     converged = r.converged;
     supersteps = r.supersteps;
+    run_metrics = r.metrics;
     std::size_t survivors = 0;
     for (vid_t v = 0; v < g.num_vertices(); ++v)
       survivors += !r.data[v].deleted;
@@ -262,6 +277,7 @@ int main(int argc, char** argv) try {
         engine::run(cfg, dg, algos::WidestPath{.source = source}, cluster);
     converged = r.converged;
     supersteps = r.supersteps;
+    run_metrics = r.metrics;
     for (vid_t v = 0; v < g.num_vertices(); ++v)
       ranked.push_back({r.data[v].capacity, v});
   } else if (algo == "diffusion") {
@@ -272,17 +288,21 @@ int main(int argc, char** argv) try {
     const auto r = engine::run(cfg, dg, prog, cluster);
     converged = r.converged;
     supersteps = r.supersteps;
+    run_metrics = r.metrics;
     for (vid_t v = 0; v < g.num_vertices(); ++v)
       ranked.push_back({r.data[v].value, v});
   } else {
     throw std::invalid_argument("unknown algo: " + algo);
   }
 
+  const double run_wall = seconds_since(t_run);
   std::cout << "engine: " << to_string(kind)
             << ", converged=" << converged << ", supersteps=" << supersteps
             << "\n";
-  cluster.metrics().setup_seconds = ingest_wall + partition_wall + build_wall;
-  cluster.metrics().print(std::cout, algo);
+  // Print the RunResult copy: it carries state_bytes (stamped at
+  // finalize_result), which the live cluster metrics never see.
+  run_metrics.setup_seconds = ingest_wall + partition_wall + build_wall;
+  run_metrics.print(std::cout, algo);
 
   if (want_trace) tracer.set_run_info(to_string(kind), algo);
   if (opts.has("trace")) {
@@ -313,6 +333,21 @@ int main(int argc, char** argv) try {
     if (!tracer.recoveries().empty()) {
       std::cout << "\nrecoveries:\n";
       tracer.recoveries_table().print(std::cout);
+    }
+  }
+  if (want_perf) {
+    const sim::PerfReport report =
+        sim::build_perf_report(tracer, run_metrics, run_wall);
+    std::cout << "\nperf report (" << to_string(kind) << "/" << algo << "):\n";
+    report.table().print(std::cout);
+    std::cout << "\nrun totals:\n";
+    report.totals_table().print(std::cout);
+    const std::string path = opts.get("perf-report", "");
+    if (!path.empty()) {
+      std::ofstream os(path);
+      require(os.good(), "cannot open perf-report output: " + path);
+      report.write_json(os);
+      std::cout << "perf report JSON -> " << path << "\n";
     }
   }
 
