@@ -51,6 +51,10 @@ struct LazyOptions {
   std::uint32_t threads_per_machine = 1;
   /// Optional pipeline-stage injection (see InitInjection; not owned).
   const InitInjection* init = nullptr;
+  /// Direction policy for the chunk-parallel local sweeps (push staging, CSC
+  /// pull, or the adaptive frontier-density rule). Serial Gauss-Seidel
+  /// sub-sweeps are push by definition and ignore the knob.
+  SweepDirection sweep = SweepDirection::kAdaptive;
 };
 
 template <VertexProgram P>
@@ -99,12 +103,28 @@ class LazyBlockAsyncEngine {
 
     RunResult<P> result;
     std::vector<std::uint64_t> work(p), applies(p), subiters(p), scanned(p);
+    // Per-machine sweep counters and direction votes for the superstep
+    // (members of the hoisted scratch so steady state allocates nothing).
+    // A machine votes only when it actually swept; -1 no vote, 0 push,
+    // 1 pull, 2 mixed.
+    std::vector<SweepCounters> sweepc(p);
+    std::vector<int> sweep_dirs(p);
+    auto fold_dirs = [&]() {
+      int agg = -1;
+      for (machine_t m = 0; m < p; ++m) {
+        const int dm = sweep_dirs[m];
+        if (dm == -1) continue;
+        agg = (agg == -1 || agg == dm) ? dm : 2;
+      }
+      return agg;
+    };
     bool do_local = false;  // the paper's first iteration skips Stage 1
 
     for (std::uint64_t step = 0; step < opts_.max_supersteps; ++step) {
       ++cluster_.metrics().supersteps;
       ++result.supersteps;
       const double iter_start_seconds = cluster_.metrics().sim_seconds();
+      std::fill(sweep_dirs.begin(), sweep_dirs.end(), -1);
 
       // ---- Stage 1: local computation. ----
       if (do_local) {
@@ -112,6 +132,7 @@ class LazyBlockAsyncEngine {
         std::fill(applies.begin(), applies.end(), 0);
         std::fill(subiters.begin(), subiters.end(), 0);
         std::fill(scanned.begin(), scanned.end(), 0);
+        std::fill(sweepc.begin(), sweepc.end(), SweepCounters{});
         const double first_iter_seconds = first_iter_seconds_;
         cluster_.parallel_machines([&](machine_t m) {
           const partition::Part& part = dg_.part(m);
@@ -119,9 +140,15 @@ class LazyBlockAsyncEngine {
           std::uint64_t budget = 0;
           bool first = true;
           for (;;) {
-            const SweepCounters c =
-                local_sweep(prog_, part, s, SweepMode::kGaussSeidel, exec);
+            const SweepCounters c = local_sweep(
+                prog_, part, s, SweepMode::kGaussSeidel, exec, opts_.sweep);
             scanned[m] += c.scanned;
+            sweepc[m] += c;
+            if (c.work != 0 || c.pull_rounds != 0) {
+              const int dm = c.pull_rounds > 0 ? 1 : 0;
+              sweep_dirs[m] =
+                  (sweep_dirs[m] == -1 || sweep_dirs[m] == dm) ? dm : 2;
+            }
             if (c.work == 0) break;
             work[m] += c.work;
             applies[m] += c.applies;
@@ -139,6 +166,11 @@ class LazyBlockAsyncEngine {
           cluster_.metrics().applies += applies[m];
           cluster_.metrics().local_subiterations += subiters[m];
           cluster_.metrics().sweep_scanned += scanned[m];
+          cluster_.metrics().sweep_pull_rounds += sweepc[m].pull_rounds;
+          cluster_.metrics().sweep_edges_pushed += sweepc[m].pushed;
+          cluster_.metrics().sweep_edges_pulled += sweepc[m].pulled;
+          cluster_.metrics().sweep_staging_avoided_bytes +=
+              sweepc[m].staging_avoided_bytes;
         }
       }
 
@@ -149,7 +181,8 @@ class LazyBlockAsyncEngine {
       std::uint64_t active = 0;
       for (machine_t m = 0; m < p; ++m) active += states_[m].count_msgs();
       if (active == 0) {
-        record_superstep_snapshot(result.supersteps, active, do_local, comm);
+        record_superstep_snapshot(result.supersteps, active, do_local, comm,
+                                  fold_dirs());
         // The exchange delivered nothing and no messages are pending: the
         // previous coherency point's view is still the global one.
         if (inspector_) inspector_(result.supersteps, states_);
@@ -160,7 +193,6 @@ class LazyBlockAsyncEngine {
       // Algorithm 1 line 16: lazy mode is sticky once turned on.
       const bool decision = interval_.turn_on_lazy(active);
       do_local = do_local || decision;
-      record_superstep_snapshot(result.supersteps, active, do_local, comm);
 
       // ---- Coherency point: apply + scatter the merged view. ----
       // Batch (snapshot) semantics per Algorithm 1: every vertex applies its
@@ -168,18 +200,37 @@ class LazyBlockAsyncEngine {
       std::fill(work.begin(), work.end(), 0);
       std::fill(applies.begin(), applies.end(), 0);
       std::fill(scanned.begin(), scanned.end(), 0);
+      std::fill(sweepc.begin(), sweepc.end(), SweepCounters{});
       cluster_.parallel_machines([&](machine_t m) {
-        const SweepCounters c = local_sweep(prog_, dg_.part(m), states_[m],
-                                            SweepMode::kSnapshot, exec);
+        const SweepCounters c =
+            local_sweep(prog_, dg_.part(m), states_[m], SweepMode::kSnapshot,
+                        exec, opts_.sweep);
         work[m] = c.work;
         applies[m] = c.applies;
         scanned[m] = c.scanned;
+        sweepc[m] = c;
+        if (c.work != 0 || c.pull_rounds != 0) {
+          const int dm = c.pull_rounds > 0 ? 1 : 0;
+          sweep_dirs[m] = (sweep_dirs[m] == -1 || sweep_dirs[m] == dm) ? dm : 2;
+        }
       });
       cluster_.charge_compute(sim::SpanKind::kApplySweep, work);
       for (machine_t m = 0; m < p; ++m) {
         cluster_.metrics().applies += applies[m];
         cluster_.metrics().sweep_scanned += scanned[m];
+        cluster_.metrics().sweep_pull_rounds += sweepc[m].pull_rounds;
+        cluster_.metrics().sweep_edges_pushed += sweepc[m].pushed;
+        cluster_.metrics().sweep_edges_pulled += sweepc[m].pulled;
+        cluster_.metrics().sweep_staging_avoided_bytes +=
+            sweepc[m].staging_avoided_bytes;
       }
+      // Recorded after the coherency sweep so the snapshot's direction covers
+      // every sweep of this superstep (Stage 1 sub-sweeps and the coherency
+      // apply+scatter). Snapshot contents are otherwise unchanged: the
+      // interval/comm decisions above are already fixed, and the step-0
+      // T calibration below has not run yet.
+      record_superstep_snapshot(result.supersteps, active, do_local, comm,
+                                fold_dirs());
       if (inspector_) inspector_(result.supersteps, states_);
 
       // "We collect the execution time T of the first iteration ... online":
@@ -215,7 +266,8 @@ class LazyBlockAsyncEngine {
   /// model's verdict and trend, the measured T behind the 3T budget, and the
   /// comm-mode selection with its fitted-curve predictions.
   void record_superstep_snapshot(std::uint64_t superstep, std::uint64_t active,
-                                 bool lazy_on, const CommDecision& comm) {
+                                 bool lazy_on, const CommDecision& comm,
+                                 int sweep_dir) {
     sim::Tracer* t = cluster_.tracer();
     if (!t) return;
     sim::SuperstepSnapshot snap;
@@ -226,6 +278,7 @@ class LazyBlockAsyncEngine {
     snap.measured_t_seconds = first_iter_seconds_;
     snap.comm_mode = static_cast<int>(comm.mode);
     snap.prediction = comm.prediction;
+    snap.sweep_dir = sweep_dir;
     t->record_superstep(snap);
   }
 

@@ -8,13 +8,22 @@
 // Two executions of the same sweep:
 //   - sweep_gauss_seidel: serial, frontier-driven worklist in ascending lvid
 //     order; deposits are visible to later vertices of the same sweep.
-//   - sweep_chunked: snapshot semantics, deterministically parallel. The
-//     entry frontier is split into fixed-size chunks; each worker stages its
-//     deposits in chunk-private buffers bucketed by target range, and the
-//     merge folds every target's messages in (chunk asc, emission asc)
-//     order. That per-target fold order equals the serial emission order, so
-//     results are bit-identical for ANY thread count and ANY range count —
-//     ranges only redistribute which thread performs a fold, never its order.
+//   - sweep_chunked: snapshot semantics, deterministically parallel, in one
+//     of two directions (adaptive by default, Beamer-style):
+//       push — the entry frontier is split into edge-balanced chunks; each
+//       worker stages its deposits in chunk-private buffers bucketed by
+//       target range, and the merge folds every target's messages in
+//       (chunk asc, emission asc) order. That per-target fold order equals
+//       the serial emission order, so results are bit-identical for ANY
+//       thread count and ANY range count — ranges only redistribute which
+//       thread performs a fold, never its order.
+//       pull — applies park their scatter payloads in the slab arena, then
+//       target-parallel workers fold each target's in-edge CSC run (ordered
+//       by (source lvid, original edge index) at graph build) directly into
+//       the message slots: no staging, no merge barrier. The run order
+//       equals the push merge's per-target fold order over the same
+//       productive edges, so the two directions are bit-identical too
+//       (DESIGN §5k).
 #pragma once
 
 #include <algorithm>
@@ -23,6 +32,7 @@
 #include <vector>
 
 #include "engine/state.hpp"
+#include "engine/sweep_direction.hpp"
 #include "util/function_ref.hpp"
 
 namespace lazygraph::engine {
@@ -123,10 +133,17 @@ enum class SweepMode {
   kSnapshot,
 };
 
-/// Items per worker chunk in the deterministic parallel sweep. Fixed (never
-/// derived from the thread count) so the chunk decomposition — and with it
-/// the merge order — is identical across thread counts.
+/// Items per worker chunk in the deterministic parallel sweep — now only the
+/// run_chunks granularity for callers that slice plain index ranges; the
+/// sweep itself uses edge-balanced chunks (kSweepEdgeBudget below).
 inline constexpr std::size_t kSweepChunk = 256;
+
+/// Cumulative (1 + degree) weight budget per sweep chunk. Degree-derived —
+/// never thread-derived — so the chunk decomposition (and with it the merge
+/// order and every counter) is identical across thread counts, while a run
+/// of high-degree vertices splits into many chunks instead of serializing
+/// one worker behind the heaviest vertex.
+inline constexpr std::uint64_t kSweepEdgeBudget = 2048;
 
 /// Intra-machine execution budget for a sweep: which cluster's pool to
 /// borrow and how many threads this machine may use. Default = serial.
@@ -157,7 +174,11 @@ class ChunkEmitter {
  public:
   ChunkEmitter(SweepScratch<Msg>& sc, std::size_t chunk, std::size_t nranges,
                lvid_t n)
-      : sc_(sc), base_(chunk * nranges), nranges_(nranges), n_(n ? n : 1) {}
+      : sc_(sc),
+        base_(chunk * nranges),
+        last_(nranges - 1),
+        scale_(static_cast<double>(nranges) /
+               static_cast<double>(n ? n : 1)) {}
 
   void msg(lvid_t v, const Msg& m) {
     sc_.buckets[base_ + range_of(v)].msgs.emplace_back(v, m);
@@ -167,38 +188,87 @@ class ChunkEmitter {
   }
 
  private:
+  /// One multiply per deposit against the reciprocal precomputed at sweep
+  /// setup (the old v*nranges/n paid a widening multiply AND a divide on
+  /// every deposit). Range assignment only decides WHICH merge worker folds
+  /// a target — never the fold order — so the formula need not match the
+  /// old integer rounding; it only has to be deterministic, which IEEE
+  /// double multiply is. The clamp covers rounding at the top edge.
   std::size_t range_of(lvid_t v) const {
-    return static_cast<std::size_t>(v) * nranges_ / n_;
+    const auto r =
+        static_cast<std::size_t>(static_cast<double>(v) * scale_);
+    return r < last_ ? r : last_;
   }
 
   SweepScratch<Msg>& sc_;
   const std::size_t base_;
-  const std::size_t nranges_;
-  const std::size_t n_;
+  const std::size_t last_;
+  const double scale_;
 };
 
-/// The deterministic chunk-and-ordered-merge engine: runs
-/// produce(i, emitter, counters) for every item i in [0, n_items), staging
-/// all deposits, then folds them into s.msg / s.delta.
+/// Splits `n` items into chunks closed at the fixed kSweepEdgeBudget
+/// cumulative weight: chunk c spans items [bounds[c], bounds[c+1]) and, when
+/// `weights` is non-null, weights[c] holds the chunk's total weight (the
+/// staging reserve hint). weight(i) must be >= 1 so zero-degree runs still
+/// advance the budget. Purely degree-derived: identical for every thread
+/// count, which keeps the merge order — and every counter — thread-invariant.
+template <class Weight>
+void build_weighted_chunks(std::size_t n, Weight&& weight,
+                           std::vector<std::size_t>& bounds,
+                           std::vector<std::uint64_t>* weights) {
+  bounds.clear();
+  bounds.push_back(0);
+  if (weights) weights->clear();
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += weight(i);
+    if (acc >= kSweepEdgeBudget) {
+      bounds.push_back(i + 1);
+      if (weights) weights->push_back(acc);
+      acc = 0;
+    }
+  }
+  if (bounds.back() != n) {
+    bounds.push_back(n);
+    if (weights) weights->push_back(acc);
+  }
+}
+
+/// The deterministic chunk-and-ordered-merge engine (the PUSH direction):
+/// runs produce(i, emitter, counters) for every item i in [0, n_items),
+/// staging all deposits, then folds them into s.msg / s.delta. item_of(i)
+/// maps an item to its local vertex — the edge-balanced chunk decomposition
+/// weighs each item by 1 + its local out-degree.
 ///
-/// Stage A (parallel over chunks): workers run `produce`, staging deposits
-/// in chunk-private buckets and counting into chunk-private counters.
+/// Stage A (parallel over edge-balanced chunks): workers run `produce`,
+/// staging deposits in chunk-private buckets (reserved up front to the
+/// chunk's balanced per-range share so staging never reallocates mid-chunk)
+/// and counting into chunk-private counters.
 /// Stage B (parallel over target ranges): each range worker folds its
 /// targets' staged pairs in (chunk asc, emission asc) order via the raw
 /// deposits, recording fresh activations per range.
 /// Stage C (serial): activations are appended to the frontiers (their lists
-/// are not thread-safe) and counters folded in chunk order.
+/// are not thread-safe), counters folded in chunk order, and the staging
+/// pool's usage recorded for the trim policy.
 ///
 /// `produce` may freely mutate per-item-exclusive state (s.vdata[item's
 /// vertex]) but must route every msg/delta deposit through the emitter.
-template <VertexProgram P, class Produce>
+template <VertexProgram P, class ItemOf, class Produce>
 SweepCounters chunked_deposit_pass(const P& prog, const partition::Part& part,
                                    PartState<P>& s, std::size_t n_items,
-                                   const SweepExec& exec, Produce&& produce) {
+                                   const SweepExec& exec, ItemOf&& item_of,
+                                   Produce&& produce) {
   SweepCounters c;
   if (n_items == 0) return c;
   auto& sc = s.scratch;
-  const std::size_t nchunks = (n_items + kSweepChunk - 1) / kSweepChunk;
+  build_weighted_chunks(
+      n_items,
+      [&](std::size_t i) {
+        const lvid_t v = item_of(i);
+        return 1 + (part.offsets[v + 1] - part.offsets[v]);
+      },
+      sc.chunk_bounds, &sc.chunk_edges);
+  const std::size_t nchunks = sc.chunk_bounds.size() - 1;
   // Range count caps the merge fanout; it does NOT affect results (per-target
   // fold order is range-independent), so deriving it from the budget is safe.
   const std::size_t nranges =
@@ -220,15 +290,38 @@ SweepCounters chunked_deposit_pass(const P& prog, const partition::Part& part,
   }
 
   const lvid_t n = part.num_local();
-  run_chunks(exec, n_items, kSweepChunk,
-             [&](std::size_t begin, std::size_t end) {
-               const std::size_t ci = begin / kSweepChunk;
-               ChunkEmitter<typename P::Msg> em(sc, ci, nranges, n);
-               SweepCounters& cc = sc.chunk_counters[ci];
-               for (std::size_t i = begin; i < end; ++i) {
-                 produce(i, em, cc);
-               }
-             });
+  // Uniform bucket reserve hint: the balanced per-range share of the
+  // heaviest chunk ANY frontier can produce (a chunk closes past the budget,
+  // so its weight is < budget + the heaviest single item), with +16 slack
+  // absorbing uneven target hashing. Frontier-independent on purpose: the
+  // chunk -> bucket index mapping shifts between sweeps as the frontier
+  // shrinks, so a per-chunk hint keeps meeting colder buckets and
+  // reallocates in steady state; this bound warms every bucket once.
+  if (sc.max_item_weight == 0) {
+    for (lvid_t v = 0; v < part.num_local(); ++v) {
+      const std::uint64_t w = 1 + (part.offsets[v + 1] - part.offsets[v]);
+      if (w > sc.max_item_weight) sc.max_item_weight = w;
+    }
+  }
+  const std::size_t hint =
+      static_cast<std::size_t>(kSweepEdgeBudget + sc.max_item_weight) /
+          nranges +
+      16;
+  run_chunks(exec, nchunks, 1, [&](std::size_t cb, std::size_t ce) {
+    for (std::size_t ci = cb; ci < ce; ++ci) {
+      for (std::size_t r = 0; r < nranges; ++r) {
+        auto& bk = sc.buckets[ci * nranges + r];
+        if (bk.msgs.capacity() < hint) bk.msgs.reserve(hint);
+        if (bk.deltas.capacity() < hint) bk.deltas.reserve(hint);
+      }
+      ChunkEmitter<typename P::Msg> em(sc, ci, nranges, n);
+      SweepCounters& cc = sc.chunk_counters[ci];
+      for (std::size_t i = sc.chunk_bounds[ci]; i < sc.chunk_bounds[ci + 1];
+           ++i) {
+        produce(i, em, cc);
+      }
+    }
+  });
 
   run_chunks(exec, nranges, 1, [&](std::size_t begin, std::size_t end) {
     for (std::size_t r = begin; r < end; ++r) {
@@ -246,26 +339,141 @@ SweepCounters chunked_deposit_pass(const P& prog, const partition::Part& part,
     }
   });
 
+  std::size_t activations = 0;
   for (std::size_t r = 0; r < nranges; ++r) {
+    activations +=
+        sc.msg_activations[r].size() + sc.delta_activations[r].size();
     for (const lvid_t v : sc.msg_activations[r]) s.frontier.activate(v);
     for (const lvid_t v : sc.delta_activations[r]) {
       s.delta_frontier.activate(v);
     }
   }
-  for (const SweepCounters& cc : sc.chunk_counters) {
-    c.work += cc.work;
-    c.applies += cc.applies;
-    c.scanned += cc.scanned;
+  for (const SweepCounters& cc : sc.chunk_counters) c += cc;
+  // What the uniform reserve asked the pool to retain: every bucket of every
+  // chunk, msgs + deltas, at `hint` pairs each.
+  std::uint64_t requested = 2 * static_cast<std::uint64_t>(need) * hint;
+  for (std::size_t ci = 0; ci < nchunks; ++ci) {
+    for (std::size_t r = 0; r < nranges; ++r) {
+      const auto& bucket = sc.buckets[ci * nranges + r];
+      c.pushed += bucket.msgs.size();
+      c.staged += bucket.msgs.size() + bucket.deltas.size();
+    }
   }
+  // The sweep's working set: what it staged (or asked the pool to reserve,
+  // whichever is larger) plus the snapshot-side scratch. Feeds the 4x
+  // high-water trim policy.
+  constexpr std::size_t kPair = sizeof(std::pair<lvid_t, typename P::Msg>);
+  sc.note_sweep_usage(sc.snapshot.size() * sizeof(lvid_t) +
+                      sc.accums.size() * sizeof(typename P::Msg) +
+                      activations * sizeof(lvid_t) +
+                      static_cast<std::size_t>(
+                          std::max<std::uint64_t>(c.staged, requested)) *
+                          kPair);
+  return c;
+}
+
+/// The PULL direction's fold: target-parallel scan of the part's in-edge CSC
+/// mirror, folding contributions from every source whose has_payload flag is
+/// up straight into s.msg — no staging, no merge barrier. Each target's
+/// in-edge run is ordered (source lvid, original edge index) at graph build,
+/// which is exactly the (chunk asc, emission asc) order the push merge folds
+/// that target's staged pairs in, so the folded bits are identical to the
+/// push pass's over the same payload set. WithDeltas selects the lazy
+/// contract (one-edge-mode deltas for spanning targets); the eager scatter
+/// broadcast uses messages only. Does NOT touch has_payload — callers own
+/// the payload lifecycle (set before, retire after).
+template <bool WithDeltas, VertexProgram P>
+SweepCounters pull_deposit_pass(const P& prog, const partition::Part& part,
+                                PartState<P>& s, const SweepExec& exec) {
+  SweepCounters c;
+  c.pull_rounds = 1;
+  auto& sc = s.scratch;
+  const lvid_t n = part.num_local();
+  if (sc.target_bounds.size() != 0 &&
+      sc.target_bounds.back() != static_cast<std::size_t>(n)) {
+    sc.target_bounds.clear();  // part shape changed under a reused state
+  }
+  if (sc.target_bounds.empty()) {
+    // Static decomposition of the target id space, weighted by in-degree:
+    // frontier-independent, so it is built once per part and cached.
+    build_weighted_chunks(
+        n,
+        [&](std::size_t v) {
+          return 1 + (part.in_offsets[v + 1] - part.in_offsets[v]);
+        },
+        sc.target_bounds, nullptr);
+  }
+  const std::size_t nchunks = sc.target_bounds.size() - 1;
+  sc.chunk_counters.assign(nchunks, SweepCounters{});
+  if (sc.msg_activations.size() < nchunks) sc.msg_activations.resize(nchunks);
+  if (sc.delta_activations.size() < nchunks) {
+    sc.delta_activations.resize(nchunks);
+  }
+  for (std::size_t k = 0; k < nchunks; ++k) {
+    sc.msg_activations[k].clear();
+    sc.delta_activations[k].clear();
+  }
+  constexpr std::size_t kPair = sizeof(std::pair<lvid_t, typename P::Msg>);
+
+  run_chunks(exec, nchunks, 1, [&](std::size_t cb, std::size_t ce) {
+    for (std::size_t ci = cb; ci < ce; ++ci) {
+      SweepCounters& cc = sc.chunk_counters[ci];
+      auto& fresh_msgs = sc.msg_activations[ci];
+      auto& fresh_deltas = sc.delta_activations[ci];
+      const auto tb = static_cast<lvid_t>(sc.target_bounds[ci]);
+      const auto te = static_cast<lvid_t>(sc.target_bounds[ci + 1]);
+      for (lvid_t t = tb; t < te; ++t) {
+        for (std::uint64_t e = part.in_offsets[t]; e < part.in_offsets[t + 1];
+             ++e) {
+          ++cc.pulled;
+          const lvid_t u = part.in_sources[e];
+          if (!s.has_payload[u]) continue;
+          const typename P::Msg out = prog.scatter(
+              s.payload[u], vertex_info<P>(part, u), part.in_weights[e]);
+          if (deposit_msg_raw(prog, s, t, out)) fresh_msgs.push_back(t);
+          cc.staging_avoided_bytes += kPair;
+          if (WithDeltas && !part.in_parallel_mode[e] &&
+              part.num_replicas(t) > 1) {
+            if (deposit_delta_raw(prog, s, t, out)) {
+              fresh_deltas.push_back(t);
+            }
+            cc.staging_avoided_bytes += kPair;
+          }
+          ++cc.work;  // one productive edge = push's one emitted out-edge
+        }
+      }
+    }
+  });
+
+  // Serial epilogue: activations concatenate in target-chunk order
+  // (ascending target). That differs from push's range-grouped order, but
+  // the SET and count are identical, and every frontier consumer is
+  // entry-order-independent (heap-sorted, sort_unique'd, or a flag scan).
+  std::size_t activations = 0;
+  for (std::size_t k = 0; k < nchunks; ++k) {
+    activations +=
+        sc.msg_activations[k].size() + sc.delta_activations[k].size();
+    for (const lvid_t v : sc.msg_activations[k]) s.frontier.activate(v);
+    for (const lvid_t v : sc.delta_activations[k]) {
+      s.delta_frontier.activate(v);
+    }
+  }
+  for (const SweepCounters& cc : sc.chunk_counters) c += cc;
+  sc.note_sweep_usage(sc.snapshot.size() * sizeof(lvid_t) +
+                      sc.accums.size() * sizeof(typename P::Msg) +
+                      activations * sizeof(lvid_t));
   return c;
 }
 
 /// Snapshot-semantics sweep via the chunked pass: collect the entry frontier
-/// in ascending lvid order, then apply+scatter it chunk-parallel.
-/// Bit-identical to a serial snapshot sweep for every thread count.
+/// in ascending lvid order, then apply+scatter it chunk-parallel — push or
+/// pull per `dir` (adaptive resolves per sweep from the frontier's out-edge
+/// mass). Bit-identical to a serial snapshot sweep for every thread count
+/// and every direction.
 template <VertexProgram P>
 SweepCounters sweep_chunked(const P& prog, const partition::Part& part,
-                            PartState<P>& s, const SweepExec& exec) {
+                            PartState<P>& s, const SweepExec& exec,
+                            SweepDirection dir = SweepDirection::kAdaptive) {
   SweepCounters c;
   const lvid_t n = part.num_local();
   auto& sc = s.scratch;
@@ -289,8 +497,66 @@ SweepCounters sweep_chunked(const P& prog, const partition::Part& part,
   }
   s.frontier.clear();  // fully consumed; deposits below re-arm it
 
+  // Resolve the direction. The adaptive rule is the sweep-cost crossover:
+  // push pays a staged write plus a merge read per frontier out-edge
+  // (2 * frontier_edges), pull pays one scan of every local in-edge
+  // (num_local_edges). Deterministic — both inputs are exact counters.
+  // Parts without the CSC mirror (hand-assembled fixtures) always push, as
+  // does the empty sweep (nothing to do either way).
+  const bool has_mirror =
+      part.in_offsets.size() == static_cast<std::size_t>(n) + 1;
+  SweepDirection d = dir;
+  if (d == SweepDirection::kAdaptive) {
+    std::uint64_t frontier_edges = 0;
+    for (const lvid_t v : sc.snapshot) {
+      frontier_edges += part.offsets[v + 1] - part.offsets[v];
+    }
+    d = 2 * frontier_edges >= part.num_local_edges() ? SweepDirection::kPull
+                                                     : SweepDirection::kPush;
+  }
+
+  if (d == SweepDirection::kPull && has_mirror && !sc.snapshot.empty()) {
+    // Stage 1 (parallel over edge-balanced item chunks): apply each
+    // snapshot vertex and park its scatter payload in the slab arena's
+    // payload slot for the fold to read.
+    build_weighted_chunks(
+        sc.snapshot.size(),
+        [&](std::size_t i) {
+          const lvid_t v = sc.snapshot[i];
+          return 1 + (part.offsets[v + 1] - part.offsets[v]);
+        },
+        sc.chunk_bounds, &sc.chunk_edges);
+    const std::size_t nchunks = sc.chunk_bounds.size() - 1;
+    sc.chunk_counters.assign(nchunks, SweepCounters{});
+    run_chunks(exec, nchunks, 1, [&](std::size_t cb, std::size_t ce) {
+      for (std::size_t ci = cb; ci < ce; ++ci) {
+        SweepCounters& cc = sc.chunk_counters[ci];
+        for (std::size_t i = sc.chunk_bounds[ci];
+             i < sc.chunk_bounds[ci + 1]; ++i) {
+          const lvid_t v = sc.snapshot[i];
+          ++cc.applies;
+          ++cc.work;  // the apply; productive edges are counted by the fold
+          s.applied[v] = 1;  // item-exclusive, like s.vdata[v]
+          const auto payload =
+              prog.apply(s.vdata[v], vertex_info<P>(part, v), sc.accums[i]);
+          if (!payload) continue;
+          s.payload[v] = *payload;
+          s.has_payload[v] = 1;
+        }
+      }
+    });
+    for (const SweepCounters& cc : sc.chunk_counters) c += cc;
+    // Stage 2: fold every target's in-edge run from the payload slots.
+    c += pull_deposit_pass<true>(prog, part, s, exec);
+    // The payload slots were pull staging: retire the flags. (The residue
+    // values are dead but deterministic, so state images stay comparable.)
+    for (const lvid_t v : sc.snapshot) s.has_payload[v] = 0;
+    return c;
+  }
+
   const SweepCounters folded = chunked_deposit_pass(
       prog, part, s, sc.snapshot.size(), exec,
+      [&](std::size_t i) { return sc.snapshot[i]; },
       [&](std::size_t i, ChunkEmitter<typename P::Msg>& em,
           SweepCounters& cc) {
         const lvid_t v = sc.snapshot[i];
@@ -312,9 +578,7 @@ SweepCounters sweep_chunked(const P& prog, const partition::Part& part,
           ++cc.work;
         }
       });
-  c.work += folded.work;
-  c.applies += folded.applies;
-  c.scanned += folded.scanned;
+  c += folded;
   return c;
 }
 
@@ -345,6 +609,7 @@ SweepCounters sweep_gauss_seidel(const P& prog, const partition::Part& part,
         deposit_delta(prog, s, u, out);
       }
       ++c.work;
+      ++c.pushed;  // direct deposits, but push-direction edge traffic
     }
   };
 
@@ -418,14 +683,18 @@ SweepCounters sweep_gauss_seidel(const P& prog, const partition::Part& part,
 }
 
 /// One apply+scatter sweep on machine `m` over replicas with pending
-/// messages (ascending lvid order; bit-deterministic for any exec budget).
+/// messages (ascending lvid order; bit-deterministic for any exec budget
+/// and any direction). `dir` steers the chunked sweep only — Gauss-Seidel
+/// is serial push by definition (its in-sweep dependency chain has no pull
+/// formulation).
 template <VertexProgram P>
 SweepCounters local_sweep(const P& prog, const partition::Part& part,
                           PartState<P>& s,
                           SweepMode mode = SweepMode::kGaussSeidel,
-                          const SweepExec& exec = {}) {
+                          const SweepExec& exec = {},
+                          SweepDirection dir = SweepDirection::kAdaptive) {
   if (mode == SweepMode::kSnapshot || exec.threads > 1) {
-    return sweep_chunked(prog, part, s, exec);
+    return sweep_chunked(prog, part, s, exec, dir);
   }
   return sweep_gauss_seidel(prog, part, s);
 }

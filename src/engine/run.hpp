@@ -62,6 +62,11 @@ struct RunConfig {
   /// > 1 also switch Stage 1 to snapshot sub-sweeps (an algorithm knob) —
   /// either way results are bit-deterministic for a fixed value.
   std::uint32_t threads_per_machine = 1;
+  /// Direction policy for the chunk-parallel local sweeps (sync scatter and
+  /// lazy-block Stage 1 / coherency sweeps): push staging, CSC pull, or the
+  /// adaptive frontier-density rule. The serial Gauss-Seidel engines (async,
+  /// lazy-vertex) are push by definition and ignore it.
+  SweepDirection sweep = SweepDirection::kAdaptive;
 
   // --- lazy-block ---
   IntervalModelConfig interval = {};
@@ -124,27 +129,28 @@ RunResult<P> run(const RunConfig& cfg, const partition::DistributedGraph& dg,
   RunResult<P> result;
   switch (cfg.kind) {
     case EngineKind::kSync:
-      result = SyncEngine<P>(
-                   dg, prog, cluster,
-                   {cfg.max_supersteps, cfg.threads_per_machine, injp})
+      result = SyncEngine<P>(dg, prog, cluster,
+                             {cfg.max_supersteps, cfg.threads_per_machine,
+                              injp, cfg.sweep})
                    .run();
       break;
     case EngineKind::kAsync:
-      result = AsyncEngine<P>(dg, prog, cluster, {cfg.max_supersteps, injp})
+      result = AsyncEngine<P>(dg, prog, cluster,
+                              {cfg.max_supersteps, injp, cfg.sweep})
                    .run();
       break;
     case EngineKind::kLazyBlock:
       result = LazyBlockAsyncEngine<P>(
                    dg, prog, cluster,
                    {cfg.max_supersteps, cfg.interval, cfg.comm_policy,
-                    cfg.threads_per_machine, injp},
+                    cfg.threads_per_machine, injp, cfg.sweep},
                    ev_ratio)
                    .run();
       break;
     case EngineKind::kLazyVertex:
       result = LazyVertexAsyncEngine<P>(
                    dg, prog, cluster,
-                   {cfg.max_supersteps, cfg.staleness, injp})
+                   {cfg.max_supersteps, cfg.staleness, injp, cfg.sweep})
                    .run();
       break;
   }

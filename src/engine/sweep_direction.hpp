@@ -1,0 +1,43 @@
+// Sweep execution direction for the intra-machine apply+scatter pass.
+// Push stages one (target, msg) pair per out-edge through chunk-private
+// buckets and merges; pull folds each target's in-edge run directly from the
+// sources' payload slots with no staging. Both produce bit-identical state
+// (see DESIGN §5k); adaptive picks per machine per sweep, Beamer-style, from
+// deterministic frontier/edge counters.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace lazygraph::engine {
+
+enum class SweepDirection : std::uint8_t {
+  /// Always stage-and-merge along out-edges (the historical mode).
+  kPush,
+  /// Always fold along the in-edge CSC mirror (dense-frontier optimum).
+  kPull,
+  /// Per machine, per sweep: pull when the frontier's out-edge mass makes
+  /// staging more expensive than a full in-edge scan, push otherwise.
+  kAdaptive,
+};
+
+inline const char* to_string(SweepDirection d) {
+  switch (d) {
+    case SweepDirection::kPush: return "push";
+    case SweepDirection::kPull: return "pull";
+    case SweepDirection::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+/// Inverse of to_string(SweepDirection); throws std::invalid_argument on
+/// anything else.
+inline SweepDirection sweep_direction_from_string(const std::string& s) {
+  if (s == "push") return SweepDirection::kPush;
+  if (s == "pull") return SweepDirection::kPull;
+  if (s == "adaptive") return SweepDirection::kAdaptive;
+  throw std::invalid_argument("unknown sweep direction: " + s);
+}
+
+}  // namespace lazygraph::engine

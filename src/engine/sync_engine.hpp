@@ -38,6 +38,9 @@ struct SyncOptions {
   std::uint32_t threads_per_machine = 1;
   /// Optional pipeline-stage injection (see InitInjection; not owned).
   const InitInjection* init = nullptr;
+  /// Scatter-sweep direction (results are bit-identical across directions;
+  /// adaptive resolves per machine per superstep).
+  SweepDirection sweep = SweepDirection::kAdaptive;
 };
 
 template <VertexProgram P>
@@ -70,6 +73,10 @@ class SyncEngine {
     // Per machine: master lvids with any active replica this superstep
     // (sorted ascending), and payload-carrying replicas to scatter.
     std::vector<std::vector<lvid_t>> pending(p), scatter_list(p);
+    // Per-machine scatter-sweep outcome, folded into metrics/trace serially
+    // after the join (cluster metrics are not thread-safe).
+    std::vector<SweepCounters> scatter_counters(p);
+    std::vector<int> sweep_dirs(p, 0);
     // Wire-codec size accounting, one stream per machine pair [dest*p+src]:
     // gather ships mirror accumulators to masters, broadcast ships new
     // master vdata (with the scatter payload piggybacked behind a presence
@@ -219,22 +226,61 @@ class SyncEngine {
         PartState<P>& s = states_[m];
         auto& list = scatter_list[m];
         std::sort(list.begin(), list.end());  // ascending = old scan order
-        const SweepCounters c = chunked_deposit_pass(
-            prog_, part, s, list.size(), exec,
-            [&](std::size_t i, ChunkEmitter<typename P::Msg>& em,
-                SweepCounters& cc) {
-              const lvid_t v = list[i];
-              s.has_payload[v] = 0;
-              const VertexInfo info = vertex_info<P>(part, v);
-              for (std::uint64_t e = part.offsets[v]; e < part.offsets[v + 1];
-                   ++e) {
-                em.msg(part.targets[e],
-                       prog_.scatter(s.payload[v], info, part.weights[e]));
-                ++cc.work;
-              }
-            });
+        // Direction: the eager broadcast already parked every payload in the
+        // slab, so the pull fold reads straight from the payload slots; the
+        // adaptive rule is the sweep-cost crossover (a staged write plus a
+        // merge read per frontier out-edge vs one scan of every local
+        // in-edge). Either way the folded bits are identical (DESIGN §5k).
+        const bool has_mirror =
+            part.in_offsets.size() ==
+            static_cast<std::size_t>(part.num_local()) + 1;
+        SweepDirection d = opts_.sweep;
+        if (d == SweepDirection::kAdaptive) {
+          std::uint64_t frontier_edges = 0;
+          for (const lvid_t v : list) {
+            frontier_edges += part.offsets[v + 1] - part.offsets[v];
+          }
+          d = 2 * frontier_edges >= part.num_local_edges()
+                  ? SweepDirection::kPull
+                  : SweepDirection::kPush;
+        }
+        SweepCounters c;
+        if (d == SweepDirection::kPull && has_mirror && !list.empty()) {
+          c = pull_deposit_pass<false>(prog_, part, s, exec);
+          for (const lvid_t v : list) s.has_payload[v] = 0;
+        } else {
+          c = chunked_deposit_pass(
+              prog_, part, s, list.size(), exec,
+              [&](std::size_t i) { return list[i]; },
+              [&](std::size_t i, ChunkEmitter<typename P::Msg>& em,
+                  SweepCounters& cc) {
+                const lvid_t v = list[i];
+                s.has_payload[v] = 0;
+                const VertexInfo info = vertex_info<P>(part, v);
+                for (std::uint64_t e = part.offsets[v];
+                     e < part.offsets[v + 1]; ++e) {
+                  em.msg(part.targets[e],
+                         prog_.scatter(s.payload[v], info, part.weights[e]));
+                  ++cc.work;
+                }
+              });
+        }
+        sweep_dirs[m] = c.pull_rounds > 0 ? 1 : 0;
+        scatter_counters[m] = c;
         work[m] = applies[m] + c.work;
       });
+      int dir_agg = -1;
+      for (machine_t m = 0; m < p; ++m) {
+        const SweepCounters& c = scatter_counters[m];
+        cluster_.metrics().sweep_pull_rounds += c.pull_rounds;
+        cluster_.metrics().sweep_edges_pushed += c.pushed;
+        cluster_.metrics().sweep_edges_pulled += c.pulled;
+        cluster_.metrics().sweep_staging_avoided_bytes +=
+            c.staging_avoided_bytes;
+        if (scatter_list[m].empty()) continue;  // no sweep ran: no vote
+        dir_agg = (dir_agg == -1 || dir_agg == sweep_dirs[m]) ? sweep_dirs[m]
+                                                              : 2;
+      }
       cluster_.charge_compute(sim::SpanKind::kEagerScatter, work);
       cluster_.charge_barrier();  // sync #3
 
@@ -243,7 +289,8 @@ class SyncEngine {
       for (machine_t m = 0; m < p; ++m) active += states_[m].count_msgs();
       if (sim::Tracer* t = cluster_.tracer()) {
         t->record_superstep({.superstep = result.supersteps,
-                            .active_vertices = active});
+                            .active_vertices = active,
+                            .sweep_dir = dir_agg});
       }
       if (inspector_) inspector_(result.supersteps, states_);
       // Coherency point: the eager broadcast just made all replicas

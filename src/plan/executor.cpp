@@ -297,6 +297,7 @@ PipelineResult Executor::run(const Pipeline& pipe, const LowerOptions& opts) {
   key = mix(key, opts.max_supersteps);
   key = mix(key, opts.staleness);
   key = mix(key, static_cast<std::uint64_t>(opts.comm_policy));
+  key = mix(key, static_cast<std::uint64_t>(opts.sweep));
   key = mix(key, static_cast<std::uint64_t>(opts.interval.policy));
   key = mix_double(key, opts.interval.ev_ratio_threshold);
   key = mix_double(key, opts.interval.trend_threshold);
@@ -463,6 +464,7 @@ PipelineResult Executor::run(const Pipeline& pipe, const LowerOptions& opts) {
     cfg.interval = opts.interval;
     cfg.comm_policy = opts.comm_policy;
     cfg.staleness = opts.staleness;
+    cfg.sweep = opts.sweep;
     cfg.initial_frontier = frontier;
 
     const ScopeMask mask =

@@ -54,6 +54,8 @@ struct LowerOptions {
   std::uint32_t staleness = 4;                 // lazy-vertex
   engine::IntervalModelConfig interval = {};   // lazy-block
   engine::CommModePolicy comm_policy = engine::CommModePolicy::kAdaptive;
+  /// Sweep direction for every lowered engine run (see RunConfig::sweep).
+  engine::SweepDirection sweep = engine::SweepDirection::kAdaptive;
   /// Parallel-edges split plan baked into every view's build.
   partition::EdgeSplitterOptions split = {.enabled = false};
 

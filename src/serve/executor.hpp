@@ -29,6 +29,8 @@ struct BatchRunOptions {
   engine::IntervalModelConfig interval = {};
   engine::CommModePolicy comm_policy = engine::CommModePolicy::kAdaptive;
   std::uint32_t staleness = 4;  // lazy-vertex
+  /// Local-sweep direction (sync + lazy-block; see RunConfig::sweep).
+  engine::SweepDirection sweep = engine::SweepDirection::kAdaptive;
   /// Optional span recorder attached to the cluster for the run.
   sim::Tracer* tracer = nullptr;
 };
@@ -73,8 +75,9 @@ engine::RunResult<P> run_with_inspector(
   engine::RunResult<P> result;
   switch (o.kind) {
     case engine::EngineKind::kSync: {
-      engine::SyncEngine<P> e(dg, prog, cluster,
-                              {o.max_supersteps, o.threads_per_machine});
+      engine::SyncEngine<P> e(
+          dg, prog, cluster,
+          {o.max_supersteps, o.threads_per_machine, nullptr, o.sweep});
       e.set_coherency_inspector(inspector);
       result = e.run();
       break;
@@ -88,8 +91,8 @@ engine::RunResult<P> run_with_inspector(
     case engine::EngineKind::kLazyBlock: {
       engine::LazyBlockAsyncEngine<P> e(
           dg, prog, cluster,
-          {o.max_supersteps, o.interval, o.comm_policy,
-           o.threads_per_machine},
+          {o.max_supersteps, o.interval, o.comm_policy, o.threads_per_machine,
+           nullptr, o.sweep},
           ev_ratio);
       e.set_coherency_inspector(inspector);
       result = e.run();

@@ -33,6 +33,10 @@ void accumulate(sim::SimMetrics& a, const sim::SimMetrics& b) {
   a.m2m_exchanges += b.m2m_exchanges;
   a.vertex_coherency_events += b.vertex_coherency_events;
   a.sweep_scanned += b.sweep_scanned;
+  a.sweep_pull_rounds += b.sweep_pull_rounds;
+  a.sweep_edges_pushed += b.sweep_edges_pushed;
+  a.sweep_edges_pulled += b.sweep_edges_pulled;
+  a.sweep_staging_avoided_bytes += b.sweep_staging_avoided_bytes;
   a.recoveries += b.recoveries;
   a.guard_bytes += b.guard_bytes;
   a.recovery_bytes += b.recovery_bytes;

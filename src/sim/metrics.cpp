@@ -31,6 +31,14 @@ void SimMetrics::print(std::ostream& os, const std::string& label) const {
        << "x state="
        << static_cast<double>(state_bytes) / (1024.0 * 1024.0) << "MB\n";
   }
+  if (sweep_edges_pushed > 0 || sweep_edges_pulled > 0) {
+    os << label << ": sweep_pushed=" << sweep_edges_pushed
+       << " sweep_pulled=" << sweep_edges_pulled
+       << " pull_rounds=" << sweep_pull_rounds << " staging_avoided="
+       << std::setprecision(3)
+       << static_cast<double>(sweep_staging_avoided_bytes) / (1024.0 * 1024.0)
+       << "MB\n";
+  }
   if (recoveries > 0 || guard_bytes > 0) {
     os << std::setprecision(3) << label << ": recoveries=" << recoveries
        << " guard="

@@ -100,8 +100,11 @@ RunOutput<P> run_one(EngineKind kind, const partition::DistributedGraph& dg,
   };
   switch (kind) {
     case EngineKind::kSync: {
-      engine::SyncEngine<P> e(dg, prog, cluster,
-                              {o.max_supersteps, s.threads_per_machine});
+      engine::SyncOptions so;
+      so.max_supersteps = o.max_supersteps;
+      so.threads_per_machine = s.threads_per_machine;
+      so.sweep = s.sweep;
+      engine::SyncEngine<P> e(dg, prog, cluster, so);
       if (with_inspector) e.set_coherency_inspector(make_inspector(eager_eq));
       out.result = e.run();
       break;
@@ -118,6 +121,7 @@ RunOutput<P> run_one(EngineKind kind, const partition::DistributedGraph& dg,
       lo.interval.policy = s.interval_policy;
       lo.comm_policy = s.comm_policy;
       lo.threads_per_machine = s.threads_per_machine;
+      lo.sweep = s.sweep;
       engine::LazyBlockAsyncEngine<P> e(dg, prog, cluster, lo,
                                         dg.user_ev_ratio());
       // Parallel-edges graphs deliver split-edge scatters eagerly through
@@ -281,6 +285,52 @@ std::optional<std::string> run_program(const Scenario& s,
     base_data.push_back(std::move(out.result.data));
     base_steps.push_back(out.result.supersteps);
     base_seconds.push_back(out.sim_seconds);
+  }
+
+  // --- Forced sweep directions: push, pull and adaptive must agree. ---
+  // The direction only changes which thread folds each target's messages,
+  // never the per-target fold order, so the converged bits, the trajectory
+  // length and the simulated time (work counters are direction-invariant)
+  // must all match the baseline exactly. Pinned on one deterministically
+  // picked direction-sensitive engine (sync scatter / lazy-block sweeps).
+  if (o.check_determinism) {
+    const bool pick_lazy =
+        (mix64(s.seed ^ s.partition_seed ^ 0x5eedd125ULL) & 1) != 0;
+    const EngineKind kind =
+        pick_lazy ? EngineKind::kLazyBlock : EngineKind::kSync;
+    const std::size_t base_idx = pick_lazy ? 2 : 0;
+    const auto& dg = is_lazy(kind) ? dg_lazy : dg_plain;
+    for (const engine::SweepDirection dir :
+         {engine::SweepDirection::kPush, engine::SweepDirection::kPull,
+          engine::SweepDirection::kAdaptive}) {
+      if (dir == s.sweep) continue;  // the baseline already ran this one
+      Scenario forced = s;
+      forced.sweep = dir;
+      const auto out =
+          run_one(kind, dg, prog, forced, o, /*threads=*/1,
+                  /*with_tracer=*/false, /*with_inspector=*/false, replica_eq,
+                  bit_eq);
+      std::string why;
+      if (!out.result.converged) {
+        why = "did not converge";
+      } else if (out.result.supersteps != base_steps[base_idx]) {
+        why = "superstep count";
+      } else if (out.sim_seconds != base_seconds[base_idx]) {
+        why = "simulated seconds";
+      } else {
+        for (vid_t v = 0; v < g.num_vertices(); ++v) {
+          if (!bit_eq(out.result.data[v], base_data[base_idx][v])) {
+            why = "vertex " + std::to_string(v) + " data";
+            break;
+          }
+        }
+      }
+      if (!why.empty()) {
+        return std::string(engine::to_string(kind)) + ": forced " +
+               engine::to_string(dir) + " sweep not bit-identical to " +
+               engine::to_string(s.sweep) + " baseline (" + why + ")";
+      }
+    }
   }
 
   // --- Fault injection: kill + recover must be invisible in the results. ---
@@ -606,6 +656,7 @@ std::optional<std::string> run_batch_program(const Scenario& s,
     bo.interval.policy = s.interval_policy;
     bo.comm_policy = s.comm_policy;
     bo.staleness = s.staleness;
+    bo.sweep = s.sweep;
     const std::string tag =
         std::string(engine::to_string(kind)) + " (batch): ";
 
@@ -768,6 +819,7 @@ Verdict check_pipeline_scenario(const Scenario& s, const OracleOptions& opts) {
     base.staleness = s.staleness;
     base.interval.policy = s.interval_policy;
     base.comm_policy = s.comm_policy;
+    base.sweep = s.sweep;
     if (s.split) {
       partition::EdgeSplitterOptions eso;
       eso.t_extra = 0.001;

@@ -138,7 +138,8 @@ std::string Scenario::summary() const {
   os << " staleness=" << staleness
      << " interval=" << engine::to_string(interval_policy)
      << " comm=" << engine::to_string(comm_policy)
-     << " tpm=" << threads_per_machine;
+     << " tpm=" << threads_per_machine
+     << " sweep=" << engine::to_string(sweep);
   if (has_pipeline()) {
     os << " pipeline=" << pipeline << " plan_engine=" << plan_engine;
   }
@@ -150,7 +151,7 @@ std::string Scenario::summary() const {
 void Scenario::to_text(std::ostream& os) const {
   // %.17g round-trips every finite double exactly.
   char buf[64];
-  os << "lazygraph-scenario v5\n";
+  os << "lazygraph-scenario v6\n";
   os << "seed " << seed << "\n";
   os << "vertices " << num_vertices << "\n";
   os << "machines " << machines << "\n";
@@ -179,6 +180,7 @@ void Scenario::to_text(std::ostream& os) const {
   // Batch lanes are a comma-joined integer list (space-free); "-" is the
   // explicit "no batch" sentinel.
   os << "batch " << (batch.empty() ? "-" : batch) << "\n";
+  os << "sweep " << engine::to_string(sweep) << "\n";
   os << "edges " << edges.size() << "\n";
   for (const Edge& e : edges) {
     std::snprintf(buf, sizeof buf, "%.9g", static_cast<double>(e.weight));
@@ -199,9 +201,10 @@ Scenario Scenario::from_text(std::istream& is) {
   std::string line;
   if (!std::getline(is, line)) fail("missing scenario header");
   // v1 dumps predate the threads_per_machine key, v2 dumps predate the
-  // pipeline keys, v3 dumps predate the kill key, and v4 dumps predate the
-  // batch key; all parse with the defaults (tpm=1, no pipeline, no
-  // failures, no batch), so old corpus files stay replayable bit-for-bit.
+  // pipeline keys, v3 dumps predate the kill key, v4 dumps predate the
+  // batch key, and v5 dumps predate the sweep key; all parse with the
+  // defaults (tpm=1, no pipeline, no failures, no batch, adaptive sweep),
+  // so old corpus files stay replayable bit-for-bit.
   int version = 0;
   if (line == "lazygraph-scenario v1") {
     version = 1;
@@ -213,8 +216,10 @@ Scenario Scenario::from_text(std::istream& is) {
     version = 4;
   } else if (line == "lazygraph-scenario v5") {
     version = 5;
+  } else if (line == "lazygraph-scenario v6") {
+    version = 6;
   } else {
-    fail("missing 'lazygraph-scenario v1|v2|v3|v4|v5' header");
+    fail("missing 'lazygraph-scenario v1|v2|v3|v4|v5|v6' header");
   }
   Scenario s;
   auto expect_key = [&](const std::string& key) -> std::string {
@@ -262,6 +267,9 @@ Scenario Scenario::from_text(std::istream& is) {
       if (lanes.size() + 1 > 16) fail("more than 16 batch lanes");
       s.batch = join_lanes(lanes);  // canonical form
     }
+  }
+  if (version >= 6) {
+    s.sweep = engine::sweep_direction_from_string(expect_key("sweep"));
   }
   const std::uint64_t num_edges = std::stoull(expect_key("edges"));
   s.edges.reserve(num_edges);
@@ -468,6 +476,18 @@ Scenario make_scenario(std::uint64_t corpus_seed, std::uint64_t index) {
     }
     s.batch = Scenario::join_lanes(lanes);
   }
+
+  // --- sweep direction ---
+  // Drawn last (after batch), keeping earlier fields of pre-existing corpus
+  // seeds unchanged. All three directions must be bit-identical, so the
+  // generator exercises forced push and forced pull alongside the adaptive
+  // rule; the oracle additionally pins all three against each other for a
+  // deterministic subset of engines.
+  using engine::SweepDirection;
+  constexpr SweepDirection kSweeps[] = {SweepDirection::kAdaptive,
+                                        SweepDirection::kPush,
+                                        SweepDirection::kPull};
+  s.sweep = kSweeps[rng.below(3)];
   return s;
 }
 

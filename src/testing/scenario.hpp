@@ -15,6 +15,7 @@
 
 #include "engine/comm_mode.hpp"
 #include "engine/interval_model.hpp"
+#include "engine/sweep_direction.hpp"
 #include "graph/graph.hpp"
 #include "partition/partitioner.hpp"
 
@@ -70,6 +71,11 @@ struct Scenario {
   /// Intra-machine thread budget (sync + lazy-block sweeps); exercises the
   /// chunked deterministic merge path when > 1.
   std::uint32_t threads_per_machine = 1;
+  /// Local-sweep direction (sync + lazy-block chunked sweeps): forced push,
+  /// forced pull over the CSC mirror, or the adaptive density rule. Every
+  /// direction must produce bit-identical results, so the generator draws
+  /// all three. Empty/old dumps default to adaptive (the v1-v5 behaviour).
+  engine::SweepDirection sweep = engine::SweepDirection::kAdaptive;
 
   // --- pipeline (plan layer) ---
   /// When non-empty, the oracle checks this recorded pipeline (stored as

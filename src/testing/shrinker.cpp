@@ -227,6 +227,9 @@ class Shrinker {
     if (report_.scenario.comm_policy != defaults.comm_policy) {
       try_knob([&](Scenario& c) { c.comm_policy = defaults.comm_policy; });
     }
+    if (report_.scenario.sweep != defaults.sweep) {
+      try_knob([&](Scenario& c) { c.sweep = defaults.sweep; });
+    }
     if (report_.scenario.kcore_k != defaults.kcore_k) {
       try_knob([&](Scenario& c) { c.kcore_k = defaults.kcore_k; });
     }

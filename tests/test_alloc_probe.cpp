@@ -93,8 +93,12 @@ TEST(AllocProbe, SyncEngineSteadyStateAllocatesNothing) {
       datasets::make(datasets::spec_by_name("webgoogle-like"), 0.05);
   const auto dg = testsupport::build_dgraph(g, 4);
   auto cluster = testsupport::make_cluster(4);
+  // Forced push: the adaptive direction switch would warm the pull path's
+  // buffers whenever it first flips mid-run; each direction gets its own
+  // pinned probe instead.
   engine::SyncEngine<algos::PageRankDelta> eng(
-      dg, algos::PageRankDelta{.tol = 1e-3}, cluster);
+      dg, algos::PageRankDelta{.tol = 1e-3}, cluster,
+      {.sweep = engine::SweepDirection::kPush});
   // Warmup 3: worklists and chunk buckets hit their high-water marks while
   // the frontier is still near-full.
   expect_steady_state_alloc_free(alloc_deltas(eng, 256), 3);
@@ -108,8 +112,24 @@ TEST(AllocProbe, LazyBlockEngineSteadyStateAllocatesNothing) {
                                 /*split=*/true);
   auto cluster = testsupport::make_cluster(4);
   engine::LazyBlockAsyncEngine<algos::PageRankDelta> eng(
-      dg, algos::PageRankDelta{.tol = 1e-3}, cluster, {},
-      g.edge_vertex_ratio());
+      dg, algos::PageRankDelta{.tol = 1e-3}, cluster,
+      {.sweep = engine::SweepDirection::kPush}, g.edge_vertex_ratio());
+  expect_steady_state_alloc_free(alloc_deltas(eng, 256), 3);
+}
+
+// The pull direction must be just as allocation-free once its payload slots
+// and chunk bounds are warm — it stages nothing, so if anything it retires
+// the push path's bucket growth.
+TEST(AllocProbe, LazyBlockForcedPullSteadyStateAllocatesNothing) {
+  const Graph g =
+      datasets::make(datasets::spec_by_name("webgoogle-like"), 0.05);
+  const auto dg =
+      testsupport::build_dgraph(g, 4, partition::CutKind::kCoordinated, 7,
+                                /*split=*/true);
+  auto cluster = testsupport::make_cluster(4);
+  engine::LazyBlockAsyncEngine<algos::PageRankDelta> eng(
+      dg, algos::PageRankDelta{.tol = 1e-3}, cluster,
+      {.sweep = engine::SweepDirection::kPull}, g.edge_vertex_ratio());
   expect_steady_state_alloc_free(alloc_deltas(eng, 256), 3);
 }
 

@@ -1,8 +1,8 @@
-// Scenario text back-compat: v1/v2/v3/v4 dumps (which predate the
-// threads_per_machine, pipeline, kill, and batch keys respectively) must
-// parse with defaults, re-serialize as current-version text, and shrink
-// correctly. Guards the `batch` key scenario text v5 added for the
-// serving-layer batched-lane check.
+// Scenario text back-compat: v1/v2/v3/v4/v5 dumps (which predate the
+// threads_per_machine, pipeline, kill, batch, and sweep keys respectively)
+// must parse with defaults, re-serialize as current-version text, and shrink
+// correctly. Guards the `sweep` key scenario text v6 added for the
+// direction-optimizing push/pull sweeps.
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -51,6 +51,9 @@ std::string emit_at_version(const Scenario& s, int version) {
   if (version >= 5) {
     os << "batch " << (s.batch.empty() ? "-" : s.batch) << "\n";
   }
+  if (version >= 6) {
+    os << "sweep " << engine::to_string(s.sweep) << "\n";
+  }
   os << "edges " << s.edges.size() << "\n";
   for (const Edge& e : s.edges) {
     std::snprintf(buf, sizeof buf, "%.9g", static_cast<double>(e.weight));
@@ -69,6 +72,7 @@ Scenario at_version_defaults(Scenario s, int version) {
   }
   if (version < 4) s.kill = d.kill;
   if (version < 5) s.batch = d.batch;
+  if (version < 6) s.sweep = d.sweep;
   return s;
 }
 
@@ -78,7 +82,7 @@ Scenario at_version_defaults(Scenario s, int version) {
 TEST(ScenarioCompat, AllVersionsParseDefaultAndRoundTrip) {
   for (std::uint64_t i = 0; i < 60; ++i) {
     const Scenario s = make_scenario(20260808, i);
-    for (int version = 1; version <= 5; ++version) {
+    for (int version = 1; version <= 6; ++version) {
       const Scenario parsed = Scenario::from_text(emit_at_version(s, version));
       EXPECT_EQ(parsed, at_version_defaults(s, version))
           << "scenario " << i << " v" << version;
@@ -89,9 +93,9 @@ TEST(ScenarioCompat, AllVersionsParseDefaultAndRoundTrip) {
   }
 }
 
-TEST(ScenarioCompat, CurrentWriterEmitsV5) {
+TEST(ScenarioCompat, CurrentWriterEmitsV6) {
   const Scenario s = make_scenario(1, 0);
-  EXPECT_EQ(s.to_text().substr(0, 22), "lazygraph-scenario v5\n");
+  EXPECT_EQ(s.to_text().substr(0, 22), "lazygraph-scenario v6\n");
 }
 
 TEST(ScenarioCompat, KillKeyRoundTripsAndDashMeansNone) {
@@ -124,7 +128,7 @@ TEST(ScenarioCompat, MalformedKillRejected) {
 TEST(ScenarioCompat, UnknownHeaderRejected) {
   const Scenario s = make_scenario(7, 3);
   std::string text = s.to_text();
-  text.replace(0, 21, "lazygraph-scenario v6");
+  text.replace(0, 21, "lazygraph-scenario v7");
   EXPECT_THROW(Scenario::from_text(text), std::invalid_argument);
 }
 
@@ -218,6 +222,57 @@ TEST(ScenarioCompat, ShrinkerDropsOrKeepsBatch) {
   for (const std::uint32_t lane : kept.scenario.batch_lanes()) {
     EXPECT_LT(lane, kept.scenario.num_vertices);
   }
+  EXPECT_EQ(Scenario::from_text(kept.scenario.to_text()), kept.scenario);
+}
+
+// Sweep key: all three names round-trip; anything else is rejected.
+TEST(ScenarioCompat, SweepKeyRoundTripsAndMalformedRejected) {
+  Scenario s = make_scenario(7, 3);
+  using engine::SweepDirection;
+  for (const SweepDirection dir : {SweepDirection::kPush, SweepDirection::kPull,
+                                   SweepDirection::kAdaptive}) {
+    s.sweep = dir;
+    EXPECT_EQ(Scenario::from_text(s.to_text()).sweep, dir);
+  }
+  for (const char* bad : {"nonsense", "PUSH", "pull,push", "-"}) {
+    std::string text = s.to_text();
+    const std::string needle = "\nsweep adaptive\n";
+    const auto pos = text.find(needle);
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, needle.size(), std::string("\nsweep ") + bad + "\n");
+    EXPECT_THROW(Scenario::from_text(text), std::invalid_argument) << bad;
+  }
+}
+
+// Generator sanity for the v6 draw: all three directions appear, each at
+// roughly 1-in-3.
+TEST(ScenarioCompat, GeneratorDrawsAllSweepDirections) {
+  int counts[3] = {0, 0, 0};
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    const Scenario s = make_scenario(99, i);
+    ++counts[static_cast<int>(s.sweep)];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, 300 / 6);
+    EXPECT_LT(c, 300 / 2);
+  }
+}
+
+// Shrinker integration: an indifferent predicate resets a forced direction
+// to adaptive; a predicate that needs the forced direction keeps it.
+TEST(ScenarioCompat, ShrinkerResetsOrKeepsSweep) {
+  Scenario s = make_scenario(11, 5);
+  s.sweep = engine::SweepDirection::kPull;
+
+  const auto indifferent = [](const Scenario& c) { return c.machines >= 1; };
+  const ShrinkReport dropped = shrink(s, indifferent, 500);
+  EXPECT_EQ(dropped.scenario.sweep, engine::SweepDirection::kAdaptive);
+
+  const auto needs_pull = [](const Scenario& c) {
+    return c.sweep == engine::SweepDirection::kPull;
+  };
+  const ShrinkReport kept = shrink(s, needs_pull, 500);
+  EXPECT_EQ(kept.scenario.sweep, engine::SweepDirection::kPull);
   EXPECT_EQ(Scenario::from_text(kept.scenario.to_text()), kept.scenario);
 }
 

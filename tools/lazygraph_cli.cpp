@@ -14,6 +14,12 @@
 //   --machines=N --scale=S --cut=random|grid|coordinated|hybrid
 //   --split=true|false  --source=V  --k=K  --tol=T  --top=N
 //   --threads-per-machine=N  intra-machine sweep threads (default 1)
+//   --sweep=push|pull|adaptive  local-sweep direction (default adaptive):
+//                        push stages (target,msg) pairs per chunk; pull scans
+//                        the CSC in-edge mirror target-parallel with no
+//                        staging; adaptive picks per machine per sweep from
+//                        frontier density. Results are bit-identical across
+//                        directions.
 //   --ingest-threads=N   setup-path threads for load/partition/build
 //                        (default 1; 0 = hardware concurrency; the output is
 //                        bit-identical at any value)
@@ -120,6 +126,8 @@ int main(int argc, char** argv) try {
     lopts.default_engine = kind;
     lopts.threads_per_machine =
         static_cast<std::uint32_t>(opts.get_int("threads-per-machine", 1));
+    lopts.sweep =
+        engine::sweep_direction_from_string(opts.get("sweep", "adaptive"));
     if (opts.get_bool("split", false)) lopts.split = {.t_extra = 0.001};
     if (opts.get_bool("sequential", false)) {
       lopts = plan::sequential_baseline(lopts);
@@ -222,6 +230,7 @@ int main(int argc, char** argv) try {
   if (want_trace) cfg.tracer = &tracer;
   cfg.threads_per_machine =
       static_cast<std::uint32_t>(opts.get_int("threads-per-machine", 1));
+  cfg.sweep = engine::sweep_direction_from_string(opts.get("sweep", "adaptive"));
 
   const auto source = static_cast<vid_t>(opts.get_int("source", 0));
   const auto top = static_cast<std::size_t>(opts.get_int("top", 5));
